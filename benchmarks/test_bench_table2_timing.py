@@ -1,0 +1,53 @@
+"""Table 2 — computation time of the inevitability verification steps.
+
+Runs the full verification pipeline (attractive invariant, level-curve
+maximisation, bounded advection, set-inclusion checks, escape certificates)
+for the third- and fourth-order CP PLL and prints the per-step wall-clock
+breakdown, the analogue of Table 2 of the paper.  Absolute numbers differ from
+the paper (pure-Python first-order solver, reduced certificate degrees); the
+*shape* — attractive-invariant synthesis dominating, level-curve maximisation
+and inclusion checks being comparatively cheap — is the reproduction target.
+"""
+
+import pytest
+
+from repro.core import TABLE2_STEP_ORDER
+
+from conftest import print_rows
+
+
+def _rows_for(report):
+    rows = dict((step, seconds) for step, seconds, _ in report.table2_rows())
+    return [f"{rows[step]:.2f}" if step in rows else "-" for step in TABLE2_STEP_ORDER]
+
+
+def test_bench_table2_third_order(benchmark, third_order_report):
+    report = third_order_report
+    benchmark.pedantic(lambda: report.table2_rows(), rounds=1, iterations=1)
+    print_rows(
+        "Table 2 (third order): verification step timings [s]",
+        ["Step", "Time (s)", "Detail"],
+        [(step, f"{seconds:.2f}", detail) for step, seconds, detail in report.table2_rows()],
+    )
+    print(f"P1={report.property_one.status.value}  "
+          f"P2={report.property_two.status.value}  "
+          f"inevitability={report.inevitability_status.value}  "
+          f"total={report.total_time:.1f}s")
+    assert report.timing_for("Attractive Invariant") > 0
+    # Attractive-invariant synthesis dominates the budget, as in the paper.
+    assert report.timing_for("Attractive Invariant") >= report.timing_for("Max. Level Curves")
+
+
+def test_bench_table2_fourth_order(benchmark, fourth_order_report):
+    report = fourth_order_report
+    benchmark.pedantic(lambda: report.table2_rows(), rounds=1, iterations=1)
+    print_rows(
+        "Table 2 (fourth order): verification step timings [s]",
+        ["Step", "Time (s)", "Detail"],
+        [(step, f"{seconds:.2f}", detail) for step, seconds, detail in report.table2_rows()],
+    )
+    print(f"P1={report.property_one.status.value}  "
+          f"P2={report.property_two.status.value}  "
+          f"inevitability={report.inevitability_status.value}  "
+          f"total={report.total_time:.1f}s")
+    assert report.timing_for("Attractive Invariant") > 0

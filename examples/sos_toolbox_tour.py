@@ -1,0 +1,63 @@
+"""Tour of the SOS programming substrate, independent of the PLL models.
+
+Demonstrates the general-purpose pieces the verification pipeline is built on:
+polynomial algebra, SOS feasibility, lower-bound optimisation, the
+S-procedure, Lemma-1 sub-level-set inclusion, and escape certificates.
+
+Run with:  python examples/sos_toolbox_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.core import EscapeCertificateSynthesizer, EscapeOptions, check_sublevel_inclusion
+from repro.polynomial import Polynomial, VariableVector, make_variables
+from repro.sos import SemialgebraicSet, SOSProgram, add_positivity_on_set, ball_constraint
+
+
+def main() -> None:
+    x, y = make_variables("x", "y")
+    xv = VariableVector([x, y])
+    px = Polynomial.from_variable(x, xv)
+    py = Polynomial.from_variable(y, xv)
+
+    # 1. Is (x - 1)^2 + (y + 2)^2 + 0.5 a sum of squares?  (yes)
+    program = SOSProgram("is_sos")
+    program.add_sos_constraint((px - 1) ** 2 + (py + 2) ** 2 + 0.5, name="p")
+    solution = program.solve()
+    print(f"1. SOS feasibility: status={solution.status.value}, "
+          f"Gram min eigenvalue={solution.certificates['p'].min_eigenvalue:.3e}")
+
+    # 2. Certified lower bound of a polynomial: maximise gamma with p - gamma SOS.
+    program = SOSProgram("lower_bound")
+    gamma = program.new_variable("gamma")
+    p = px ** 2 - 2 * px + 3 + (px * py - 1) ** 2
+    program.add_sos_constraint(p - gamma, name="bound")
+    program.maximize(gamma)
+    solution = program.solve()
+    print(f"2. certified lower bound of p: gamma* = {solution.value(gamma):.4f}")
+
+    # 3. S-procedure: x(4 - x) >= 0 holds on [0, 4] although it is not globally SOS.
+    program = SOSProgram("sproc")
+    domain = SemialgebraicSet(xv, inequalities=(px, 4 - px))
+    add_positivity_on_set(program, px * (4 - px), domain)
+    print(f"3. positivity on a segment via the S-procedure: "
+          f"{program.solve().status.value}")
+
+    # 4. Lemma-1 inclusion of sub-level sets (unit disc inside radius-2 disc).
+    inner = px ** 2 + py ** 2 - 1.0
+    outer = px ** 2 + py ** 2 - 4.0
+    inclusion = check_sublevel_inclusion(inner, outer)
+    print(f"4. {{x^2+y^2<=1}} inside {{x^2+y^2<=4}}: certified={inclusion.holds}")
+
+    # 5. Escape certificate: constant drift leaves every bounded region.
+    field = (Polynomial.constant(xv, 1.0), Polynomial.zero(xv))
+    region = SemialgebraicSet(xv, inequalities=(ball_constraint(xv, 1.0),))
+    escape = EscapeCertificateSynthesizer(EscapeOptions(certificate_degree=2)).synthesize(
+        "drift", field, region, bounds=[(-1, 1), (-1, 1)])
+    print(f"5. escape certificate for pure drift: E = "
+          f"{escape.certificate.to_string(3)} "
+          f"(escape time bound {escape.escape_time_bound([(-1, 1), (-1, 1)]):.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — SOS-based verification of inevitability of phase-locking in CP PLLs.
+
+Reproduction of: Ul Asad, H. & Jones, K. D., "Verifying inevitability of
+phase-locking in a charge pump phase lock loop using sum of squares
+programming", GLSVLSI 2015.
+
+Subpackages
+-----------
+``repro.polynomial``
+    Multivariate polynomial algebra (variables, monomials, calculus, Gram forms).
+``repro.sdp``
+    Pure numpy/scipy conic SDP solvers (ADMM splitting, alternating projection).
+``repro.sos``
+    SOS programming layer: constraints, S-procedure, certificate validation.
+``repro.hybrid``
+    Hybrid dynamical systems (Goebel-Sanfelice-Teel flavour) and simulation.
+``repro.pll``
+    Charge-pump PLL behavioural and verification models (3rd and 4th order).
+``repro.core``
+    The paper's contribution: multiple Lyapunov certificates, level-set
+    maximisation, bounded advection, escape certificates and the end-to-end
+    inevitability verification pipeline.
+``repro.analysis``
+    Projections, sampling-based validation and falsification utilities.
+"""
+
+from .exceptions import CertificateError, ModelError, ReproError, VerificationInconclusive
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "CertificateError",
+    "VerificationInconclusive",
+    "__version__",
+]

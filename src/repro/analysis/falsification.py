@@ -1,0 +1,172 @@
+"""Simulation-based falsification and cross-validation of verification claims.
+
+The SOS pipeline is only as trustworthy as its numerical certificates, so the
+library ships an independent check: simulate the system (verification-model
+abstraction or full behavioural PLL), project the trajectories into the
+certificate coordinates, and test the claims directly —
+
+* trajectories starting inside the attractive invariant must converge to the
+  lock neighbourhood and must never leave the invariant;
+* the per-mode Lyapunov certificates must be non-increasing along in-mode
+  flow segments (up to the configured tolerance);
+* trajectories starting in the outer set must reach the invariant within the
+  bounded time implied by the advection iterations.
+
+A failed check is reported as a :class:`FalsificationFinding` with the
+offending trajectory so it can be inspected or turned into a regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.attractive import AttractiveInvariant
+from ..pll.model import PLLVerificationModel
+
+RelayTrajectory = np.ndarray  # shape (steps, n_states)
+
+
+@dataclass
+class FalsificationFinding:
+    """One violated claim discovered by simulation."""
+
+    claim: str
+    initial_state: np.ndarray
+    worst_value: float
+    step_index: int
+
+    def __str__(self) -> str:
+        return (f"{self.claim}: violation {self.worst_value:.3e} at step {self.step_index} "
+                f"from x0={np.round(self.initial_state, 4).tolist()}")
+
+
+def simulate_relay_abstraction(model: PLLVerificationModel,
+                               initial_state: Sequence[float],
+                               duration: float = 60.0,
+                               dt: float = 1e-3) -> RelayTrajectory:
+    """Forward-Euler simulation of the sign-of-``e`` switching abstraction.
+
+    This is the executable counterpart of the verification model: the charge
+    pump is up whenever the phase difference is positive and down whenever it
+    is negative (mode 1 is a measure-zero sliding surface in this abstraction).
+    """
+    fields = model.nominal_fields()
+    up = fields["mode2"]
+    down = fields["mode3"]
+    idle = fields["mode1"]
+    state = np.asarray(initial_state, dtype=float).copy()
+    steps = int(duration / dt)
+    trajectory = np.empty((steps + 1, state.shape[0]))
+    trajectory[0] = state
+    for k in range(steps):
+        e = state[-1]
+        if e > 0:
+            field = up
+        elif e < 0:
+            field = down
+        else:
+            field = idle
+        derivative = np.array([poly.evaluate(state) for poly in field])
+        state = state + dt * derivative
+        trajectory[k + 1] = state
+    return trajectory
+
+
+def check_invariant_convergence(
+    model: PLLVerificationModel,
+    invariant: AttractiveInvariant,
+    initial_states: Sequence[Sequence[float]],
+    duration: float = 80.0,
+    dt: float = 1e-3,
+    lock_radius: float = 0.6,
+    tolerance: float = 1e-4,
+) -> List[FalsificationFinding]:
+    """Simulate from each initial state and test convergence / invariance claims."""
+    findings: List[FalsificationFinding] = []
+    for x0 in initial_states:
+        trajectory = simulate_relay_abstraction(model, x0, duration=duration, dt=dt)
+        inside_mask = invariant.contains_points(trajectory)
+        if inside_mask.any():
+            first_inside = int(np.argmax(inside_mask))
+            later = trajectory[first_inside:]
+            margins = np.array([invariant.membership_margin(p) for p in later[::25]])
+            worst = float(margins.max())
+            if worst > tolerance:
+                findings.append(FalsificationFinding(
+                    claim="forward invariance of X1",
+                    initial_state=np.asarray(x0, dtype=float),
+                    worst_value=worst,
+                    step_index=first_inside,
+                ))
+        final_voltages = trajectory[-1][:-1]
+        if np.linalg.norm(final_voltages) > lock_radius:
+            findings.append(FalsificationFinding(
+                claim="convergence to the lock neighbourhood",
+                initial_state=np.asarray(x0, dtype=float),
+                worst_value=float(np.linalg.norm(final_voltages)),
+                step_index=trajectory.shape[0] - 1,
+            ))
+    return findings
+
+
+def check_certificate_decrease_along_trajectories(
+    model: PLLVerificationModel,
+    certificates: Dict[str, "np.ndarray"],
+    initial_states: Sequence[Sequence[float]],
+    duration: float = 20.0,
+    dt: float = 1e-3,
+    tolerance: float = 1e-3,
+) -> List[FalsificationFinding]:
+    """Check that each mode's certificate is non-increasing during that mode's flow.
+
+    ``certificates`` maps mode name to a numeric polynomial (the synthesised
+    Lyapunov function).  Only samples where the trajectory stays in one mode
+    between consecutive steps are compared.
+    """
+    findings: List[FalsificationFinding] = []
+    for x0 in initial_states:
+        trajectory = simulate_relay_abstraction(model, x0, duration=duration, dt=dt)
+        e_values = trajectory[:, -1]
+        voltage_norm = np.linalg.norm(trajectory[:, :-1], axis=1)
+        for mode_name, certificate in certificates.items():
+            if mode_name == "mode2":
+                mask = e_values > 1e-6
+            elif mode_name == "mode3":
+                mask = e_values < -1e-6
+            else:
+                mask = np.abs(e_values) <= 1e-6
+            # Only count decrease where the practical-stability tube does not apply.
+            mask = mask & (voltage_norm > 0.55)
+            if mask.sum() < 3:
+                continue
+            values = certificate.evaluate_many(trajectory[mask])
+            increases = np.diff(values)
+            consecutive = np.diff(np.where(mask)[0]) == 1
+            increases = increases[consecutive]
+            if increases.size and float(increases.max()) > tolerance:
+                findings.append(FalsificationFinding(
+                    claim=f"V non-increasing along {mode_name} flow",
+                    initial_state=np.asarray(x0, dtype=float),
+                    worst_value=float(increases.max()),
+                    step_index=int(np.argmax(increases)),
+                ))
+    return findings
+
+
+def random_initial_states(model: PLLVerificationModel, count: int,
+                          scale: float = 0.8, seed: int = 0) -> np.ndarray:
+    """Random initial states inside the outer ellipsoid (scaled by ``scale``)."""
+    rng = np.random.default_rng(seed)
+    bounds = model.state_bounds()
+    states = []
+    outer = model.outer_set_polynomial(margin=scale)
+    attempts = 0
+    while len(states) < count and attempts < 100 * count:
+        candidate = np.array([rng.uniform(lo, hi) for lo, hi in bounds]) * scale
+        if outer.evaluate(candidate) <= 0.0:
+            states.append(candidate)
+        attempts += 1
+    return np.array(states) if states else np.zeros((0, len(bounds)))

@@ -1,0 +1,157 @@
+"""2-D projections of polynomial sub-level sets (Figures 2-5 of the paper).
+
+The paper plots attractive invariants and advected level sets projected onto
+coordinate planes such as ``(v1, v2)`` or ``(v2, phi_ref - phi_vco)``.  Two
+projection flavours are provided:
+
+* **slice** — remaining coordinates fixed (default: at the equilibrium);
+* **shadow** — a point of the plane belongs to the projection if *some*
+  value of the remaining coordinates (within the state box) puts the full
+  state inside the set; computed on a grid by sampling the hidden coordinates.
+
+The output is a boolean occupancy grid plus extracted boundary points, which
+is what the benchmark harness prints as the "figure" data series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..polynomial import Polynomial, VariableVector
+
+
+@dataclass
+class ProjectionGrid:
+    """Occupancy grid of a projected set on a coordinate plane."""
+
+    axis_names: Tuple[str, str]
+    x_values: np.ndarray
+    y_values: np.ndarray
+    inside: np.ndarray            # boolean, shape (len(y_values), len(x_values))
+    kind: str = "slice"
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of grid cells inside the projected set."""
+        return float(self.inside.mean()) if self.inside.size else 0.0
+
+    def extent(self) -> Tuple[float, float, float, float]:
+        """(x_min, x_max, y_min, y_max) of the occupied cells (NaN when empty)."""
+        if not np.any(self.inside):
+            return (float("nan"),) * 4
+        ys, xs = np.where(self.inside)
+        return (float(self.x_values[xs.min()]), float(self.x_values[xs.max()]),
+                float(self.y_values[ys.min()]), float(self.y_values[ys.max()]))
+
+    def boundary_points(self, max_points: int = 200) -> np.ndarray:
+        """Approximate boundary cells of the occupancy grid (for plotting/printing)."""
+        if not np.any(self.inside):
+            return np.empty((0, 2))
+        inside = self.inside
+        boundary = inside & ~(
+            np.roll(inside, 1, axis=0) & np.roll(inside, -1, axis=0)
+            & np.roll(inside, 1, axis=1) & np.roll(inside, -1, axis=1)
+        )
+        ys, xs = np.where(boundary)
+        points = np.column_stack([self.x_values[xs], self.y_values[ys]])
+        if points.shape[0] > max_points:
+            stride = points.shape[0] // max_points + 1
+            points = points[::stride]
+        return points
+
+    def row_summary(self) -> List[Tuple[float, float, float]]:
+        """Per-row (y, x_min, x_max) spans of the occupied region."""
+        rows = []
+        for j, y in enumerate(self.y_values):
+            occupied = np.where(self.inside[j])[0]
+            if occupied.size == 0:
+                continue
+            rows.append((float(y), float(self.x_values[occupied.min()]),
+                         float(self.x_values[occupied.max()])))
+        return rows
+
+
+def _axis_indices(variables: VariableVector, axes: Tuple[str, str]) -> Tuple[int, int]:
+    names = list(variables.names)
+    for axis in axes:
+        if axis not in names:
+            raise ValueError(f"axis {axis!r} is not a state variable ({names})")
+    return names.index(axes[0]), names.index(axes[1])
+
+
+def project_sublevel_set(
+    polynomial: Polynomial,
+    variables: VariableVector,
+    axes: Tuple[str, str],
+    bounds: Sequence[Tuple[float, float]],
+    level: float = 0.0,
+    resolution: int = 61,
+    kind: str = "slice",
+    fixed_values: Optional[Sequence[float]] = None,
+    hidden_samples: int = 15,
+    seed: int = 0,
+) -> ProjectionGrid:
+    """Project ``{polynomial <= level}`` onto a coordinate plane.
+
+    ``bounds`` gives the full-state box used both for the grid ranges of the
+    plane axes and for sampling the hidden coordinates in ``"shadow"`` mode.
+    """
+    ix, iy = _axis_indices(variables, axes)
+    n = len(variables)
+    poly = polynomial.with_variables(variables)
+    x_values = np.linspace(bounds[ix][0], bounds[ix][1], resolution)
+    y_values = np.linspace(bounds[iy][0], bounds[iy][1], resolution)
+    inside = np.zeros((resolution, resolution), dtype=bool)
+
+    hidden_indices = [k for k in range(n) if k not in (ix, iy)]
+    if kind == "slice":
+        base = np.array(fixed_values, dtype=float) if fixed_values is not None \
+            else np.zeros(n)
+        for j, y in enumerate(y_values):
+            points = np.tile(base, (resolution, 1))
+            points[:, ix] = x_values
+            points[:, iy] = y
+            inside[j] = poly.evaluate_many(points) <= level
+    elif kind == "shadow":
+        rng = np.random.default_rng(seed)
+        hidden_box = [bounds[k] for k in hidden_indices]
+        samples = np.zeros((max(hidden_samples, 1), len(hidden_indices)))
+        for c, (lo, hi) in enumerate(hidden_box):
+            samples[:, c] = rng.uniform(lo, hi, size=samples.shape[0])
+        if len(hidden_indices):
+            samples[0, :] = 0.0  # always include the equilibrium slice
+        for j, y in enumerate(y_values):
+            for i, x in enumerate(x_values):
+                points = np.zeros((samples.shape[0], n))
+                points[:, ix] = x
+                points[:, iy] = y
+                for c, k in enumerate(hidden_indices):
+                    points[:, k] = samples[:, c]
+                inside[j, i] = bool(np.any(poly.evaluate_many(points) <= level))
+    else:
+        raise ValueError(f"unknown projection kind {kind!r}")
+
+    return ProjectionGrid(axis_names=axes, x_values=x_values, y_values=y_values,
+                          inside=inside, kind=kind)
+
+
+def project_union(
+    polynomials: Sequence[Polynomial],
+    variables: VariableVector,
+    axes: Tuple[str, str],
+    bounds: Sequence[Tuple[float, float]],
+    resolution: int = 61,
+    kind: str = "slice",
+    **kwargs,
+) -> ProjectionGrid:
+    """Projection of a union of 0-sub-level sets (e.g. the attractive invariant)."""
+    grids = [project_sublevel_set(p, variables, axes, bounds, resolution=resolution,
+                                  kind=kind, **kwargs) for p in polynomials]
+    combined = grids[0].inside.copy()
+    for grid in grids[1:]:
+        combined |= grid.inside
+    return ProjectionGrid(axis_names=axes, x_values=grids[0].x_values,
+                          y_values=grids[0].y_values, inside=combined, kind=kind)

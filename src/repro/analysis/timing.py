@@ -1,0 +1,32 @@
+"""Small timing utilities shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass
+class StageTimer:
+    """Accumulates named wall-clock measurements (used to build Table 2 rows)."""
+
+    measurements: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.measurements.setdefault(name, []).append(time.perf_counter() - start)
+
+    def total(self, name: str) -> float:
+        return sum(self.measurements.get(name, []))
+
+    def rows(self) -> List[Tuple[str, float]]:
+        return [(name, sum(values)) for name, values in self.measurements.items()]
+
+    def grand_total(self) -> float:
+        return sum(sum(values) for values in self.measurements.values())

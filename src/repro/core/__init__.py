@@ -1,0 +1,84 @@
+"""The paper's contribution: SOS-based inevitability verification for CP PLLs."""
+
+from .lyapunov import (
+    LyapunovResult,
+    LyapunovSynthesisOptions,
+    ModeCertificate,
+    MultipleLyapunovSynthesizer,
+)
+from .levelset import LevelSetMaximizer, LevelSetOptions, MaximizedLevelSet
+from .attractive import AttractiveInvariant
+from .inclusion import (
+    InclusionCertificate,
+    check_sublevel_inclusion,
+    sample_inclusion_counterexample,
+    sublevel_set_is_empty,
+)
+from .advection import (
+    AdvectionOptions,
+    AdvectionResult,
+    AdvectionStep,
+    LevelSetAdvector,
+    run_bounded_advection,
+)
+from .escape import (
+    EscapeCertificate,
+    EscapeCertificateSynthesizer,
+    EscapeOptions,
+    escape_region_from_advection,
+)
+from .properties import (
+    ModePropertyTwoResult,
+    PropertyOneResult,
+    PropertyTwoResult,
+    VerificationStatus,
+)
+from .report import (
+    STEP_ADVECTION,
+    STEP_ATTRACTIVE_INVARIANT,
+    STEP_ESCAPE,
+    STEP_MAX_LEVEL_CURVES,
+    STEP_SET_INCLUSION,
+    TABLE2_STEP_ORDER,
+    StepTiming,
+    VerificationReport,
+)
+from .inevitability import InevitabilityOptions, InevitabilityVerifier
+
+__all__ = [
+    "LyapunovSynthesisOptions",
+    "LyapunovResult",
+    "ModeCertificate",
+    "MultipleLyapunovSynthesizer",
+    "LevelSetOptions",
+    "LevelSetMaximizer",
+    "MaximizedLevelSet",
+    "AttractiveInvariant",
+    "InclusionCertificate",
+    "check_sublevel_inclusion",
+    "sample_inclusion_counterexample",
+    "sublevel_set_is_empty",
+    "AdvectionOptions",
+    "AdvectionStep",
+    "AdvectionResult",
+    "LevelSetAdvector",
+    "run_bounded_advection",
+    "EscapeOptions",
+    "EscapeCertificate",
+    "EscapeCertificateSynthesizer",
+    "escape_region_from_advection",
+    "VerificationStatus",
+    "PropertyOneResult",
+    "PropertyTwoResult",
+    "ModePropertyTwoResult",
+    "StepTiming",
+    "VerificationReport",
+    "TABLE2_STEP_ORDER",
+    "STEP_ATTRACTIVE_INVARIANT",
+    "STEP_MAX_LEVEL_CURVES",
+    "STEP_ADVECTION",
+    "STEP_SET_INCLUSION",
+    "STEP_ESCAPE",
+    "InevitabilityOptions",
+    "InevitabilityVerifier",
+]

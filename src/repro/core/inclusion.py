@@ -1,0 +1,115 @@
+"""Polynomial sub-level-set operations based on Lemma 1 of the paper.
+
+Lemma 1: for polynomials ``p1, p2`` and SOS multipliers ``s0, s1`` with
+``s0 - s1 p1 + p2 = 0`` it holds that ``L(p1) ⊂ L(p2)`` where ``L(p)`` is the
+0-sub-level set ``{x : p(x) <= 0}``.  Equivalently (the form used here):
+``-p2 + s1 * p1`` being SOS certifies the inclusion, because ``p1(x) <= 0``
+then forces ``p2(x) <= 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..polynomial import Polynomial, VariableVector
+from ..sos import SemialgebraicSet, SOSProgram
+from ..utils import get_logger
+
+LOGGER = get_logger("core.inclusion")
+
+
+@dataclass
+class InclusionCertificate:
+    """Result of a Lemma-1 inclusion check ``{inner <= 0} ⊆ {outer <= 0}``."""
+
+    holds: bool
+    multiplier: Optional[Polynomial]
+    status: str
+    inner: Polynomial
+    outer: Polynomial
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_sublevel_inclusion(
+    inner: Polynomial,
+    outer: Polynomial,
+    multiplier_degree: int = 2,
+    domain: Optional[SemialgebraicSet] = None,
+    solver_backend: Optional[str] = None,
+    **solver_settings,
+) -> InclusionCertificate:
+    """Certify ``{inner <= 0} ⊆ {outer <= 0}`` via Lemma 1.
+
+    The optional ``domain`` restricts the claim to a semialgebraic set (its
+    constraints enter through additional S-procedure multipliers), which keeps
+    the certificate search feasible when the inclusion only holds locally.
+    """
+    variables = inner.variables.union(outer.variables)
+    inner_v = inner.with_variables(variables)
+    outer_v = outer.with_variables(variables)
+
+    program = SOSProgram(name="sublevel_inclusion")
+    lam = program.new_sos_polynomial(variables, multiplier_degree, name="lambda")
+    expr = lam * inner_v - outer_v
+    if domain is not None:
+        for k, constraint in enumerate(domain.inequalities):
+            sigma = program.new_sos_polynomial(variables, multiplier_degree,
+                                               name=f"dom{k}")
+            expr = expr - sigma * constraint.with_variables(variables)
+    program.add_sos_constraint(expr, name="inclusion")
+    solution = program.solve(backend=solver_backend, **solver_settings)
+
+    if not solution.is_success:
+        return InclusionCertificate(holds=False, multiplier=None,
+                                    status=solution.status.value,
+                                    inner=inner_v, outer=outer_v)
+    multiplier = solution.polynomial(lam)
+    return InclusionCertificate(holds=True, multiplier=multiplier,
+                                status=solution.status.value,
+                                inner=inner_v, outer=outer_v)
+
+
+def sample_inclusion_counterexample(
+    inner: Polynomial,
+    outer: Polynomial,
+    bounds: Sequence[Tuple[float, float]],
+    num_samples: int = 4000,
+    seed: int = 0,
+    tolerance: float = 1e-9,
+) -> Optional[np.ndarray]:
+    """Search for a point with ``inner <= 0`` but ``outer > 0`` (falsification).
+
+    Returns a counterexample point or ``None``.  Used to cross-check negative
+    answers from :func:`check_sublevel_inclusion` (the SOS relaxation is sound
+    but incomplete, so "no certificate" does not imply "no inclusion").
+    """
+    rng = np.random.default_rng(seed)
+    lows = np.array([b[0] for b in bounds])
+    highs = np.array([b[1] for b in bounds])
+    variables = inner.variables.union(outer.variables)
+    inner_v = inner.with_variables(variables)
+    outer_v = outer.with_variables(variables)
+    points = rng.uniform(lows, highs, size=(num_samples, len(bounds)))
+    inner_vals = inner_v.evaluate_many(points)
+    outer_vals = outer_v.evaluate_many(points)
+    mask = (inner_vals <= tolerance) & (outer_vals > tolerance)
+    if not np.any(mask):
+        return None
+    candidates = points[mask]
+    worst = int(np.argmax(outer_v.evaluate_many(candidates)))
+    return candidates[worst]
+
+
+def sublevel_set_is_empty(poly: Polynomial, bounds: Sequence[Tuple[float, float]],
+                          num_samples: int = 4000, seed: int = 0) -> bool:
+    """Heuristic emptiness check of ``{poly <= 0}`` inside a box (by sampling)."""
+    rng = np.random.default_rng(seed)
+    lows = np.array([b[0] for b in bounds])
+    highs = np.array([b[1] for b in bounds])
+    points = rng.uniform(lows, highs, size=(num_samples, len(bounds)))
+    return bool(np.all(poly.evaluate_many(points) > 0.0))

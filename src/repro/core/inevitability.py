@@ -1,0 +1,244 @@
+"""End-to-end inevitability verification (the paper's methodology, §3).
+
+The :class:`InevitabilityVerifier` chains the four stages of the paper:
+
+1. multiple Lyapunov certificate synthesis (Property 1, Theorem 1/2),
+2. level-curve maximisation producing the attractive invariant ``X1``,
+3. bounded advection of the outer set ``X2`` per pumping mode (Algorithm 1),
+4. escape-certificate search for modes where advection stays inconclusive,
+
+and produces a :class:`~repro.core.report.VerificationReport` with the
+per-step timing breakdown of Table 2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CertificateError
+from ..pll.model import MODE_IDLE, PLLVerificationModel
+from ..sos import SemialgebraicSet
+from ..utils import get_logger
+from .advection import AdvectionOptions, AdvectionResult, run_bounded_advection
+from .attractive import AttractiveInvariant
+from .escape import EscapeCertificateSynthesizer, EscapeOptions, escape_region_from_advection
+from .inclusion import check_sublevel_inclusion
+from .levelset import LevelSetMaximizer, LevelSetOptions
+from .lyapunov import LyapunovResult, LyapunovSynthesisOptions, MultipleLyapunovSynthesizer
+from .properties import (
+    ModePropertyTwoResult,
+    PropertyOneResult,
+    PropertyTwoResult,
+    VerificationStatus,
+)
+from .report import (
+    STEP_ADVECTION,
+    STEP_ATTRACTIVE_INVARIANT,
+    STEP_ESCAPE,
+    STEP_MAX_LEVEL_CURVES,
+    STEP_SET_INCLUSION,
+    VerificationReport,
+)
+
+LOGGER = get_logger("core.inevitability")
+
+
+@dataclass
+class InevitabilityOptions:
+    """Aggregated options for the four verification stages."""
+
+    lyapunov: LyapunovSynthesisOptions = field(default_factory=LyapunovSynthesisOptions)
+    levelset: LevelSetOptions = field(default_factory=LevelSetOptions)
+    advection: AdvectionOptions = field(default_factory=AdvectionOptions)
+    escape: EscapeOptions = field(default_factory=EscapeOptions)
+    advection_modes: Optional[Sequence[str]] = None   # default: all pumping modes
+    outer_set_margin: float = 1.0
+    verify_property_two: bool = True
+    attempt_escape_on_inconclusive: bool = True
+
+
+class InevitabilityVerifier:
+    """Verify inevitability of phase-locking for a CP PLL verification model."""
+
+    def __init__(self, model: PLLVerificationModel,
+                 options: Optional[InevitabilityOptions] = None):
+        self.model = model
+        self.options = options or InevitabilityOptions()
+        # The S-procedure domains always include the region-of-interest box.
+        if self.options.lyapunov.domain_boxes is None:
+            self.options.lyapunov.domain_boxes = self.model.state_bounds()
+
+    # ------------------------------------------------------------------
+    # Stage 1 + 2: Property 1
+    # ------------------------------------------------------------------
+    def verify_property_one(self, report: VerificationReport) -> PropertyOneResult:
+        synthesizer = MultipleLyapunovSynthesizer(
+            self.model.system, options=self.options.lyapunov)
+        start = time.perf_counter()
+        lyapunov = synthesizer.synthesize()
+        report.add_timing(
+            STEP_ATTRACTIVE_INVARIANT, time.perf_counter() - start,
+            detail=f"degree {self.options.lyapunov.certificate_degree}",
+        )
+        if not lyapunov.feasible:
+            return PropertyOneResult(
+                status=VerificationStatus.INCONCLUSIVE, lyapunov=lyapunov, invariant=None,
+                message=lyapunov.message,
+            )
+
+        maximizer = LevelSetMaximizer(self.options.levelset)
+        certificates = {name: cert.certificate
+                        for name, cert in lyapunov.certificates.items()}
+        domains = {name: cert.domain for name, cert in lyapunov.certificates.items()}
+        start = time.perf_counter()
+        try:
+            level_sets = maximizer.maximize_all(certificates, domains,
+                                                bounds=self.model.state_bounds())
+        except CertificateError as exc:
+            report.add_timing(STEP_MAX_LEVEL_CURVES, time.perf_counter() - start)
+            return PropertyOneResult(
+                status=VerificationStatus.INCONCLUSIVE, lyapunov=lyapunov, invariant=None,
+                message=f"level-curve maximisation failed: {exc}",
+            )
+        report.add_timing(STEP_MAX_LEVEL_CURVES, time.perf_counter() - start)
+
+        invariant = AttractiveInvariant(level_sets=level_sets,
+                                        variables=self.model.state_variables)
+        status = VerificationStatus.VERIFIED if lyapunov.all_validations_passed \
+            else VerificationStatus.FAILED
+        return PropertyOneResult(
+            status=status, lyapunov=lyapunov, invariant=invariant,
+            message="attractive invariant constructed",
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 3 + 4: Property 2
+    # ------------------------------------------------------------------
+    def _advection_mode_names(self) -> Tuple[str, ...]:
+        if self.options.advection_modes is not None:
+            return tuple(self.options.advection_modes)
+        return tuple(name for name in self.model.system.mode_names if name != MODE_IDLE)
+
+    def verify_property_two(self, invariant: AttractiveInvariant,
+                            report: VerificationReport) -> PropertyTwoResult:
+        outer = self.model.outer_set_polynomial(margin=self.options.outer_set_margin)
+        nominal_fields = self.model.nominal_fields()
+        per_mode: Dict[str, ModePropertyTwoResult] = {}
+        status = VerificationStatus.VERIFIED
+
+        for mode_name in self._advection_mode_names():
+            field_polys = nominal_fields[mode_name]
+            domain = self.model.mode_domain(mode_name)
+
+            start = time.perf_counter()
+            advection = run_bounded_advection(
+                mode_name, outer, field_polys, invariant, domain=domain,
+                options=self.options.advection,
+            )
+            report.add_timing(
+                STEP_ADVECTION, time.perf_counter() - start,
+                detail=f"{mode_name}: {advection.iterations_used} iterations",
+            )
+
+            # Dedicated inclusion re-check of the final advected set (Table 2 row).
+            start = time.perf_counter()
+            final_abs = None
+            for target_name, sublevel in invariant.sublevel_polynomials().items():
+                inclusion = check_sublevel_inclusion(
+                    advection.final_polynomial, sublevel,
+                    multiplier_degree=self.options.advection.inclusion_multiplier_degree,
+                    domain=domain,
+                    solver_backend=self.options.advection.solver_backend,
+                    **self.options.advection.solver_settings,
+                )
+                if inclusion.holds:
+                    final_abs = target_name
+                    break
+            report.add_timing(STEP_SET_INCLUSION, time.perf_counter() - start,
+                              detail=mode_name)
+
+            if advection.converged or final_abs is not None:
+                per_mode[mode_name] = ModePropertyTwoResult(
+                    mode_name=mode_name, advection=advection, escape=None,
+                    status=VerificationStatus.VERIFIED,
+                    message=f"advected set absorbed by level set of "
+                            f"{advection.absorbing_mode or final_abs}",
+                )
+                continue
+
+            # Advection inconclusive: Algorithm 1 lines 13-21 (escape certificate).
+            if not self.options.attempt_escape_on_inconclusive:
+                per_mode[mode_name] = ModePropertyTwoResult(
+                    mode_name=mode_name, advection=advection, escape=None,
+                    status=VerificationStatus.INCONCLUSIVE,
+                    message="advection did not immerse and escape search disabled",
+                )
+                status = status.combine(VerificationStatus.INCONCLUSIVE)
+                continue
+
+            own_level = invariant.level_set(mode_name) if mode_name in invariant.level_sets \
+                else next(iter(invariant.level_sets.values()))
+            escape_region = escape_region_from_advection(
+                advection.final_polynomial, own_level.sublevel_polynomial,
+                region_box=self.model.region_box_set(),
+            )
+            synthesizer = EscapeCertificateSynthesizer(self.options.escape)
+            start = time.perf_counter()
+            try:
+                escape = synthesizer.synthesize(
+                    mode_name, field_polys, escape_region,
+                    bounds=self.model.state_bounds(),
+                )
+                report.add_timing(STEP_ESCAPE, time.perf_counter() - start, detail=mode_name)
+                mode_status = VerificationStatus.VERIFIED if escape.validation_passed \
+                    else VerificationStatus.FAILED
+                per_mode[mode_name] = ModePropertyTwoResult(
+                    mode_name=mode_name, advection=advection, escape=escape,
+                    status=mode_status,
+                    message="escape certificate covers the inconclusive sub-region",
+                )
+                status = status.combine(mode_status)
+            except CertificateError as exc:
+                report.add_timing(STEP_ESCAPE, time.perf_counter() - start, detail=mode_name)
+                per_mode[mode_name] = ModePropertyTwoResult(
+                    mode_name=mode_name, advection=advection, escape=None,
+                    status=VerificationStatus.INCONCLUSIVE, message=str(exc),
+                )
+                status = status.combine(VerificationStatus.INCONCLUSIVE)
+
+        message = "bounded reachability of X1 established" \
+            if status is VerificationStatus.VERIFIED else \
+            "property 2 could not be fully established"
+        return PropertyTwoResult(status=status, per_mode=per_mode, message=message)
+
+    # ------------------------------------------------------------------
+    def verify(self) -> VerificationReport:
+        """Run the full methodology and return the report."""
+        report = VerificationReport(
+            system_name=self.model.system.name,
+            property_one=PropertyOneResult(
+                status=VerificationStatus.INCONCLUSIVE, lyapunov=None, invariant=None),
+            property_two=PropertyTwoResult(status=VerificationStatus.INCONCLUSIVE),
+            options_summary={
+                "lyapunov_degree": self.options.lyapunov.certificate_degree,
+                "multiplier_degree": self.options.lyapunov.multiplier_degree,
+                "advection_step": self.options.advection.time_step,
+                "advection_operator": self.options.advection.operator,
+                "uncertainty": self.model.uncertainty,
+            },
+        )
+
+        property_one = self.verify_property_one(report)
+        report.property_one = property_one
+        if not property_one.verified or property_one.invariant is None:
+            LOGGER.warning("property 1 not established: %s", property_one.message)
+            return report
+
+        if self.options.verify_property_two:
+            property_two = self.verify_property_two(property_one.invariant, report)
+            report.property_two = property_two
+        return report

@@ -1,0 +1,159 @@
+"""Level-curve maximisation (second SOS program of §3).
+
+Given a Lyapunov certificate ``V_q`` and the mode domain
+``D_q = {x : g_1 >= 0, ..., g_k >= 0}``, find the largest ``c_q`` such that
+the sub-level set ``{V_q <= c_q}`` is contained in ``D_q``.  Containment in
+each ``{g_j >= 0}`` is certified through Lemma 1; since the certificate is
+bilinear in ``(c, multipliers)`` the maximisation is done by bisection on
+``c`` (each feasibility query is a linear SOS program).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CertificateError
+from ..polynomial import Polynomial
+from ..sos import SemialgebraicSet, SOSProgram
+from ..utils import get_logger
+from .inclusion import check_sublevel_inclusion
+
+LOGGER = get_logger("core.levelset")
+
+
+@dataclass
+class LevelSetOptions:
+    """Options of the level-curve maximisation."""
+
+    multiplier_degree: int = 2
+    bisection_tolerance: float = 1e-3
+    max_bisection_iterations: int = 40
+    initial_upper_bound: Optional[float] = None
+    solver_backend: Optional[str] = None
+    solver_settings: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class MaximizedLevelSet:
+    """The maximised sub-level set ``{certificate <= level}`` of one mode."""
+
+    mode_name: str
+    certificate: Polynomial
+    level: float
+    iterations: int
+    certified_levels: List[float] = field(default_factory=list)
+    rejected_levels: List[float] = field(default_factory=list)
+
+    @property
+    def sublevel_polynomial(self) -> Polynomial:
+        """Polynomial whose 0-sub-level set is the maximised level set."""
+        return self.certificate - self.level
+
+    def contains(self, state: Sequence[float], tolerance: float = 1e-9) -> bool:
+        return self.certificate.evaluate(state) <= self.level + tolerance
+
+
+class LevelSetMaximizer:
+    """Maximise ``c`` with ``{V <= c} ⊆ D`` by bisection over Lemma-1 queries."""
+
+    def __init__(self, options: Optional[LevelSetOptions] = None):
+        self.options = options or LevelSetOptions()
+
+    # ------------------------------------------------------------------
+    def _level_is_certified(self, certificate: Polynomial, level: float,
+                            domain: SemialgebraicSet) -> bool:
+        """One feasibility query: ``{V - level <= 0} ⊆ {g_j >= 0}`` for every j."""
+        inner = certificate - level
+        for constraint in domain.inequalities:
+            inclusion = check_sublevel_inclusion(
+                inner, -constraint,
+                multiplier_degree=self.options.multiplier_degree,
+                solver_backend=self.options.solver_backend,
+                **self.options.solver_settings,
+            )
+            if not inclusion.holds:
+                return False
+        return True
+
+    def _default_upper_bound(self, certificate: Polynomial,
+                             domain: SemialgebraicSet,
+                             bounds: Optional[Sequence[Tuple[float, float]]]) -> float:
+        """A sampling-based upper bound: min of V on the domain boundary-ish samples."""
+        if bounds is None:
+            return 10.0 * max(certificate.max_abs_coefficient(), 1.0)
+        rng = np.random.default_rng(7)
+        lows = np.array([b[0] for b in bounds])
+        highs = np.array([b[1] for b in bounds])
+        points = rng.uniform(lows, highs, size=(4000, len(bounds)))
+        outside = np.array([not domain.contains(p) for p in points])
+        if not np.any(outside):
+            values = certificate.evaluate_many(points)
+            return float(values.max()) * 2.0 + 1.0
+        return float(certificate.evaluate_many(points[outside]).min())
+
+    # ------------------------------------------------------------------
+    def maximize(self, mode_name: str, certificate: Polynomial,
+                 domain: SemialgebraicSet,
+                 bounds: Optional[Sequence[Tuple[float, float]]] = None) -> MaximizedLevelSet:
+        """Bisect for the largest certified level of one certificate."""
+        options = self.options
+        upper = options.initial_upper_bound
+        if upper is None:
+            upper = self._default_upper_bound(certificate, domain, bounds)
+        upper = max(float(upper), options.bisection_tolerance)
+        lower = 0.0
+
+        certified: List[float] = []
+        rejected: List[float] = []
+
+        # Ensure the upper end is genuinely infeasible (otherwise expand).
+        expansions = 0
+        while self._level_is_certified(certificate, upper, domain):
+            certified.append(upper)
+            lower = upper
+            upper *= 2.0
+            expansions += 1
+            if expansions > 12:
+                break
+
+        iterations = expansions
+        best = lower
+        while (upper - lower) > options.bisection_tolerance and \
+                iterations < options.max_bisection_iterations:
+            mid = 0.5 * (lower + upper)
+            iterations += 1
+            if self._level_is_certified(certificate, mid, domain):
+                certified.append(mid)
+                best = mid
+                lower = mid
+            else:
+                rejected.append(mid)
+                upper = mid
+
+        if best <= 0.0:
+            raise CertificateError(
+                f"level-curve maximisation for {mode_name!r} found no positive certified level"
+            )
+        return MaximizedLevelSet(
+            mode_name=mode_name, certificate=certificate, level=best,
+            iterations=iterations, certified_levels=certified, rejected_levels=rejected,
+        )
+
+    # ------------------------------------------------------------------
+    def maximize_all(self, certificates: Dict[str, Polynomial],
+                     domains: Dict[str, SemialgebraicSet],
+                     bounds: Optional[Sequence[Tuple[float, float]]] = None,
+                     ) -> Dict[str, MaximizedLevelSet]:
+        """Maximise the level curve of every mode certificate."""
+        results: Dict[str, MaximizedLevelSet] = {}
+        for mode_name, certificate in certificates.items():
+            domain = domains[mode_name]
+            start = time.perf_counter()
+            results[mode_name] = self.maximize(mode_name, certificate, domain, bounds)
+            LOGGER.info("level set for %s: c=%.4g (%.2fs)", mode_name,
+                        results[mode_name].level, time.perf_counter() - start)
+        return results

@@ -1,0 +1,419 @@
+"""Multiple Lyapunov certificate synthesis (SOS program 1 of the paper, §3).
+
+For every mode ``q`` of the hybrid system a polynomial certificate ``V_q`` is
+sought such that (Theorem 1):
+
+(a) ``V_q(x) > 0`` on the mode's domain away from the equilibrium,
+(b) the Lie derivative of ``V_q`` along the mode's flow map is non-positive on
+    the mode's domain, for every admissible parameter value, and
+(c) ``V_{q'}(G(x)) <= V_q(x)`` across every jump from ``q`` to ``q'``.
+
+Every constraint is relaxed to an SOS membership through the S-procedure.
+Condition (b) is quantified over the uncertain-parameter box either by vertex
+enumeration (exact for dynamics affine in the parameters — the CP PLL case)
+or by treating parameters as extra indeterminates with interval constraints.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import CertificateError
+from ..hybrid import HybridSystem, Mode
+from ..polynomial import ParametricPolynomial, Polynomial, Variable, VariableVector
+from ..sos import (
+    SemialgebraicSet,
+    SOSProgram,
+    SOSSolution,
+    add_positivity_on_set,
+    validate_decrease_along_field,
+    validate_nonnegativity,
+)
+from ..utils import get_logger
+
+LOGGER = get_logger("core.lyapunov")
+
+
+@dataclass
+class LyapunovSynthesisOptions:
+    """Knobs of the multiple-Lyapunov SOS program."""
+
+    certificate_degree: int = 2
+    multiplier_degree: int = 2
+    positivity_margin: float = 1e-3      # epsilon * ||x||^2 lower bound on V_q
+    decrease_margin: float = 0.0         # 0 = negative *semi*-definite Lie derivative
+    jump_margin: float = 0.0             # slack required across jumps
+    common_certificate: bool = False     # force V_1 = ... = V_m (ablation)
+    parameter_handling: str = "vertex"   # "vertex" | "interval"
+    solver_backend: Optional[str] = None
+    solver_settings: Dict[str, object] = field(default_factory=dict)
+    domain_boxes: Optional[Sequence[Tuple[float, float]]] = None  # state box for S-procedure
+    positivity_global: bool = True       # require V - eps||x||^2 SOS globally (stronger, smaller SDP)
+    box_in_decrease: bool = False        # intersect decrease domains with the state box
+    box_in_jumps: bool = False           # intersect jump domains with the state box
+    # Practical-stability relaxation: require the Lie-derivative decrease only where
+    # the voltage deviation exceeds this radius (a tube around the lock manifold).
+    # 0.0 reproduces the paper's condition verbatim; see DESIGN.md ("formulation note")
+    # for why the verbatim condition is degenerate for constant-current pumping.
+    lock_tube_radius: float = 0.5
+    voltage_indices: Optional[Sequence[int]] = None  # defaults to all states except the last (phase)
+    # How the decrease/jump domains are made compact for the S-procedure (Putinar-style
+    # certificates generally need a compactness constraint): "ball" adds a single
+    # ``R^2 - ||x||^2 >= 0`` constraint covering the state box, "box" adds one interval
+    # constraint per state, "none" leaves the domain as is.
+    compactness: str = "ball"
+    validate_samples: int = 1500
+    validation_tolerance: float = 1e-4
+
+
+@dataclass
+class ModeCertificate:
+    """A synthesised Lyapunov certificate for one mode."""
+
+    mode_name: str
+    certificate: Polynomial
+    domain: SemialgebraicSet
+
+    def value(self, state: Sequence[float]) -> float:
+        return self.certificate.evaluate(state)
+
+
+@dataclass
+class LyapunovResult:
+    """Outcome of the multiple-Lyapunov synthesis."""
+
+    feasible: bool
+    certificates: Dict[str, ModeCertificate]
+    solution: Optional[SOSSolution]
+    options: LyapunovSynthesisOptions
+    synthesis_time: float
+    validation_reports: List[object] = field(default_factory=list)
+    message: str = ""
+
+    def certificate_for(self, mode_name: str) -> Polynomial:
+        if mode_name not in self.certificates:
+            raise KeyError(f"no certificate for mode {mode_name!r}")
+        return self.certificates[mode_name].certificate
+
+    @property
+    def all_validations_passed(self) -> bool:
+        return all(report.passed for report in self.validation_reports)
+
+
+class MultipleLyapunovSynthesizer:
+    """Builds and solves SOS program 1 of the paper for a hybrid system."""
+
+    def __init__(self, system: HybridSystem,
+                 options: Optional[LyapunovSynthesisOptions] = None,
+                 region_box: Optional[Sequence[Tuple[float, float]]] = None):
+        self.system = system
+        self.options = options or LyapunovSynthesisOptions()
+        if region_box is not None:
+            self.options.domain_boxes = list(region_box)
+
+    # ------------------------------------------------------------------
+    # Domains
+    # ------------------------------------------------------------------
+    def _mode_domain(self, mode: Mode) -> SemialgebraicSet:
+        """Full mode domain (flow set intersected with the state box) — used for
+        level-set maximisation and sampling validation."""
+        domain = mode.flow_set
+        if self.options.domain_boxes is not None:
+            domain = domain.with_box(self.options.domain_boxes)
+        return domain
+
+    def _positivity_domain(self, mode: Mode) -> Optional[SemialgebraicSet]:
+        """Domain for condition (a); ``None`` means global positivity."""
+        if self.options.positivity_global:
+            return None
+        return self._mode_domain(mode)
+
+    def _lock_tube_constraint(self) -> Optional[Polynomial]:
+        """``sum_i v_i^2 - r^2 >= 0`` over the voltage states (None when disabled)."""
+        radius = self.options.lock_tube_radius
+        if radius <= 0.0:
+            return None
+        state_vars = self.system.state_variables
+        indices = self.options.voltage_indices
+        if indices is None:
+            indices = range(len(state_vars) - 1)
+        poly = Polynomial.constant(state_vars, -float(radius) ** 2)
+        for i in indices:
+            xi = Polynomial.from_variable(state_vars[i], state_vars)
+            poly = poly + xi * xi
+        return poly
+
+    def _compactness_constraints(self) -> Tuple[Polynomial, ...]:
+        """Constraints making the S-procedure domains compact (see options)."""
+        boxes = self.options.domain_boxes
+        if boxes is None or self.options.compactness == "none":
+            return ()
+        state_vars = self.system.state_variables
+        if self.options.compactness == "box":
+            constraints = []
+            for i, (lo, hi) in enumerate(boxes):
+                xi = Polynomial.from_variable(state_vars[i], state_vars)
+                constraints.append((xi - lo) * (hi - xi))
+            return tuple(constraints)
+        if self.options.compactness == "ball":
+            radius_sq = sum(max(lo * lo, hi * hi) for lo, hi in boxes)
+            poly = Polynomial.constant(state_vars, float(radius_sq))
+            for v in state_vars:
+                xi = Polynomial.from_variable(v, state_vars)
+                poly = poly - xi * xi
+            return (poly,)
+        raise CertificateError(f"unknown compactness mode {self.options.compactness!r}")
+
+    def _decrease_domain(self, mode: Mode) -> SemialgebraicSet:
+        """Domain for condition (b)."""
+        domain = mode.flow_set
+        extra: List[Polynomial] = list(self._compactness_constraints())
+        if self.options.box_in_decrease and self.options.domain_boxes is not None \
+                and self.options.compactness != "box":
+            domain = domain.with_box(self.options.domain_boxes)
+        tube = self._lock_tube_constraint()
+        if tube is not None:
+            extra.append(tube)
+        if extra:
+            domain = SemialgebraicSet(
+                domain.variables,
+                inequalities=domain.inequalities + tuple(extra),
+                equalities=domain.equalities,
+                name=f"{domain.name}_offlock",
+            )
+        return domain
+
+    def _jump_domain(self, guard: SemialgebraicSet) -> SemialgebraicSet:
+        domain = guard
+        extra = self._compactness_constraints()
+        if self.options.box_in_jumps and self.options.domain_boxes is not None \
+                and self.options.compactness != "box":
+            domain = domain.with_box(self.options.domain_boxes)
+        if extra:
+            domain = SemialgebraicSet(
+                domain.variables,
+                inequalities=domain.inequalities + tuple(extra),
+                equalities=domain.equalities,
+                name=f"{domain.name}_compact",
+            )
+        return domain
+
+    # ------------------------------------------------------------------
+    # Vector fields under parameter uncertainty
+    # ------------------------------------------------------------------
+    def _mode_fields(self, mode: Mode) -> List[Tuple[Tuple[Polynomial, ...], Optional[Dict]]]:
+        """Vector fields to impose the decrease condition on.
+
+        Vertex handling returns one state-only field per parameter-box corner;
+        interval handling returns a single field over state+parameter
+        variables (the caller then adds the parameter interval constraints).
+        """
+        if not self.system.parameter_variables or not mode.has_parameters:
+            return [(mode.flow_map_with_parameters({}), None)]
+        if self.options.parameter_handling == "vertex":
+            fields = []
+            for assignment in self.system.parameter_vertex_assignments():
+                fields.append((mode.flow_map_with_parameters(assignment), assignment))
+            return fields
+        if self.options.parameter_handling == "interval":
+            return [(mode.flow_map, {"symbolic": True})]
+        raise CertificateError(
+            f"unknown parameter handling {self.options.parameter_handling!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Program construction
+    # ------------------------------------------------------------------
+    def build_program(self) -> Tuple[SOSProgram, Dict[str, ParametricPolynomial]]:
+        options = self.options
+        state_vars = self.system.state_variables
+        program = SOSProgram(name=f"lyapunov_{self.system.name}")
+
+        templates: Dict[str, ParametricPolynomial] = {}
+        shared: Optional[ParametricPolynomial] = None
+        for mode in self.system.modes:
+            if options.common_certificate:
+                if shared is None:
+                    shared = program.new_polynomial_variable(
+                        state_vars, options.certificate_degree, name="V", min_degree=2)
+                templates[mode.name] = shared
+            else:
+                templates[mode.name] = program.new_polynomial_variable(
+                    state_vars, options.certificate_degree, name=f"V_{mode.name}",
+                    min_degree=2)
+
+        # (a) positivity on each mode domain (V(0)=0 holds by construction since
+        # the template has no constant/linear monomials).  With
+        # ``positivity_global`` the stronger global condition is imposed, which
+        # needs no S-procedure multipliers at all.
+        for mode in self.system.modes:
+            pos_domain = self._positivity_domain(mode)
+            if pos_domain is None:
+                margin = Polynomial.zero(state_vars)
+                for v in state_vars:
+                    xi = Polynomial.from_variable(v, state_vars)
+                    margin = margin + xi * xi
+                program.add_sos_constraint(
+                    templates[mode.name] - margin * options.positivity_margin,
+                    name=f"pos_{mode.name}",
+                )
+                if options.common_certificate:
+                    break
+            else:
+                add_positivity_on_set(
+                    program, templates[mode.name], pos_domain,
+                    multiplier_degree=options.multiplier_degree,
+                    name=f"pos_{mode.name}", strictness=options.positivity_margin,
+                )
+
+        # (b) Lie-derivative decrease on each mode domain for every parameter vertex
+        # (or symbolically over the parameter box).
+        for mode in self.system.modes:
+            domain = self._decrease_domain(mode)
+            for k, (field_polys, assignment) in enumerate(self._mode_fields(mode)):
+                if assignment is not None and assignment.get("symbolic"):
+                    # Parameters as indeterminates: extend variables and domain.
+                    full_vars = state_vars.union(self.system.parameter_variables)
+                    extended = SemialgebraicSet(
+                        full_vars,
+                        inequalities=tuple(
+                            p.with_variables(full_vars) for p in domain.inequalities
+                        ) + self.system.parameter_constraints(),
+                        equalities=tuple(
+                            p.with_variables(full_vars) for p in domain.equalities
+                        ),
+                        name=f"{domain.name}_params",
+                    )
+                    template = templates[mode.name].with_variables(full_vars)
+                    lie = template.lie_derivative(
+                        [f.with_variables(full_vars) for f in field_polys]
+                        + [Polynomial.zero(full_vars)] * len(self.system.parameter_variables)
+                    )
+                    add_positivity_on_set(
+                        program, -lie, extended,
+                        multiplier_degree=options.multiplier_degree,
+                        name=f"dec_{mode.name}_{k}",
+                        strictness=options.decrease_margin,
+                    )
+                else:
+                    lie = templates[mode.name].lie_derivative(list(field_polys))
+                    add_positivity_on_set(
+                        program, -lie, domain,
+                        multiplier_degree=options.multiplier_degree,
+                        name=f"dec_{mode.name}_{k}",
+                        strictness=options.decrease_margin,
+                    )
+
+        # (c) non-increase across jumps: V_target(G(x)) <= V_source(x) on the guard.
+        if not options.common_certificate:
+            for transition in self.system.transitions:
+                source = templates[transition.source]
+                target = templates[transition.target]
+                if transition.is_identity_reset:
+                    target_after = target
+                else:
+                    reset = [r.with_variables(state_vars)
+                             for r in transition.reset_polynomials()]
+                    target_after = _compose_parametric(target, reset, state_vars)
+                expr = source - target_after - options.jump_margin
+                add_positivity_on_set(
+                    program, expr, self._jump_domain(transition.guard_set),
+                    multiplier_degree=options.multiplier_degree,
+                    name=f"jump_{transition.name}",
+                )
+
+        return program, templates
+
+    # ------------------------------------------------------------------
+    def synthesize(self) -> LyapunovResult:
+        """Solve the SOS program and validate the resulting certificates."""
+        start = time.perf_counter()
+        program, templates = self.build_program()
+        LOGGER.info("solving %s", program.describe())
+        solution = program.solve(backend=self.options.solver_backend,
+                                 **self.options.solver_settings)
+        elapsed = time.perf_counter() - start
+
+        # The SDP backends are first-order methods: a run that stops at the
+        # iteration budget (or is suspected infeasible) may still carry a usable
+        # approximate certificate.  The decision is therefore delegated to the
+        # independent a-posteriori validation of the *extracted* polynomials —
+        # which is the sound part of the tool chain — whenever the solver
+        # produced a candidate point at all.
+        usable = solution.solver_result.x is not None
+        if not usable:
+            return LyapunovResult(
+                feasible=False, certificates={}, solution=solution,
+                options=self.options, synthesis_time=elapsed,
+                message=f"SOS program not solved: {solution.status.value}",
+            )
+
+        certificates: Dict[str, ModeCertificate] = {}
+        for mode in self.system.modes:
+            poly = solution.polynomial(templates[mode.name]).truncate(1e-12)
+            certificates[mode.name] = ModeCertificate(
+                mode_name=mode.name, certificate=poly, domain=self._mode_domain(mode))
+
+        reports = self._validate(certificates)
+        feasible = all(report.passed for report in reports) if reports else solution.is_success
+        if feasible:
+            message = "certificates synthesised and validated"
+        elif solution.is_success:
+            message = "solver returned certificates but sampling validation failed"
+        else:
+            message = (f"solver stopped with status {solution.status.value} and the "
+                       "extracted candidate failed sampling validation")
+        return LyapunovResult(
+            feasible=feasible, certificates=certificates, solution=solution,
+            options=self.options, synthesis_time=elapsed,
+            validation_reports=reports, message=message,
+        )
+
+    # ------------------------------------------------------------------
+    def _validate(self, certificates: Dict[str, ModeCertificate]) -> List[object]:
+        """Sampling-based re-check of conditions (a) and (b) at parameter vertices."""
+        options = self.options
+        if options.validate_samples <= 0:
+            return []
+        bounds = options.domain_boxes
+        if bounds is None:
+            bounds = [(-1.0, 1.0)] * self.system.num_states
+        reports = []
+        for mode in self.system.modes:
+            cert = certificates[mode.name]
+            reports.append(validate_nonnegativity(
+                cert.certificate, cert.domain, bounds,
+                num_samples=options.validate_samples,
+                tolerance=options.validation_tolerance,
+                name=f"positivity[{mode.name}]",
+            ))
+            decrease_domain = self._decrease_domain(mode)
+            for k, (field_polys, assignment) in enumerate(self._mode_fields(mode)):
+                if assignment is not None and assignment.get("symbolic"):
+                    field_polys = mode.flow_map_with_parameters(
+                        self.system.nominal_parameters())
+                reports.append(validate_decrease_along_field(
+                    cert.certificate, list(field_polys), decrease_domain, bounds,
+                    num_samples=options.validate_samples,
+                    tolerance=options.validation_tolerance,
+                    name=f"decrease[{mode.name}#{k}]",
+                ))
+        return reports
+
+
+def _compose_parametric(template: ParametricPolynomial,
+                        mapping: Sequence[Polynomial],
+                        variables: VariableVector) -> ParametricPolynomial:
+    """Compose a parametric polynomial with a numeric polynomial map."""
+    result = ParametricPolynomial.zero(variables)
+    for mono, coeff in template.coefficients.items():
+        term = Polynomial.constant(variables, 1.0)
+        for i, exp in enumerate(mono.exponents):
+            if exp:
+                term = term * (mapping[i] ** exp)
+        result = result + ParametricPolynomial.from_polynomial(term) * coeff
+    return result

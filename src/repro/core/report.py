@@ -1,0 +1,104 @@
+"""Verification reports: the per-step timing table (Table 2) and text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .properties import PropertyOneResult, PropertyTwoResult, VerificationStatus
+
+#: Canonical step names, matching the rows of Table 2 of the paper.
+STEP_ATTRACTIVE_INVARIANT = "Attractive Invariant"
+STEP_MAX_LEVEL_CURVES = "Max. Level Curves"
+STEP_ADVECTION = "Advection"
+STEP_SET_INCLUSION = "Checking Set Inclusion"
+STEP_ESCAPE = "Escape Certificate"
+
+TABLE2_STEP_ORDER = (
+    STEP_ATTRACTIVE_INVARIANT,
+    STEP_MAX_LEVEL_CURVES,
+    STEP_ADVECTION,
+    STEP_SET_INCLUSION,
+    STEP_ESCAPE,
+)
+
+
+@dataclass
+class StepTiming:
+    """Wall-clock timing and detail string for one verification step."""
+
+    step: str
+    seconds: float
+    detail: str = ""
+
+
+@dataclass
+class VerificationReport:
+    """Full record of one inevitability verification run."""
+
+    system_name: str
+    property_one: PropertyOneResult
+    property_two: PropertyTwoResult
+    timings: List[StepTiming] = field(default_factory=list)
+    options_summary: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def inevitability_status(self) -> VerificationStatus:
+        return self.property_one.status.combine(self.property_two.status)
+
+    @property
+    def inevitability_verified(self) -> bool:
+        return self.inevitability_status.is_verified
+
+    @property
+    def total_time(self) -> float:
+        return sum(t.seconds for t in self.timings)
+
+    # ------------------------------------------------------------------
+    def add_timing(self, step: str, seconds: float, detail: str = "") -> None:
+        self.timings.append(StepTiming(step=step, seconds=seconds, detail=detail))
+
+    def timing_for(self, step: str) -> float:
+        return sum(t.seconds for t in self.timings if t.step == step)
+
+    def table2_rows(self) -> List[Tuple[str, float, str]]:
+        """Rows of the paper's Table 2 for this system: (step, seconds, detail)."""
+        rows: List[Tuple[str, float, str]] = []
+        for step in TABLE2_STEP_ORDER:
+            entries = [t for t in self.timings if t.step == step]
+            if not entries:
+                continue
+            seconds = sum(t.seconds for t in entries)
+            detail = "; ".join(t.detail for t in entries if t.detail)
+            rows.append((step, seconds, detail))
+        return rows
+
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        lines = [f"Inevitability verification report for {self.system_name}",
+                 "=" * 60]
+        lines.append(f"Property 1 (attractivity in X1):      {self.property_one.status.value}")
+        if self.property_one.invariant is not None:
+            for mode_name, level, degree in self.property_one.invariant.summary_rows():
+                lines.append(f"    {mode_name}: V degree {degree}, maximised level c = {level:.4g}")
+        lines.append(f"Property 2 (bounded reachability):    {self.property_two.status.value}")
+        for mode_name, result in sorted(self.property_two.per_mode.items()):
+            parts = [f"    {mode_name}: {result.status.value}"]
+            if result.advection is not None:
+                parts.append(f"advection {result.advection.iterations_used} iterations"
+                             f"{' (absorbed)' if result.advection.converged else ''}")
+            if result.escape is not None:
+                parts.append("escape certificate found")
+            lines.append(", ".join(parts))
+        lines.append(f"Inevitability (P = P1 and P2):        {self.inevitability_status.value}")
+        lines.append("")
+        lines.append("Timing breakdown (Table 2 analogue):")
+        for step, seconds, detail in self.table2_rows():
+            suffix = f"  [{detail}]" if detail else ""
+            lines.append(f"    {step:24s} {seconds:10.3f} s{suffix}")
+        lines.append(f"    {'Total':24s} {self.total_time:10.3f} s")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render_text()

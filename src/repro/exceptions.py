@@ -1,0 +1,24 @@
+"""Library-wide exception hierarchy."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ModelError(ReproError):
+    """A hybrid-system or PLL model is malformed."""
+
+
+class CertificateError(ReproError):
+    """A certificate synthesis step failed or produced an invalid certificate."""
+
+
+class VerificationInconclusive(ReproError):
+    """The methodology could not establish the truth value of a property.
+
+    This mirrors the paper's explicit "No Answer" outcome: SOS relaxation is
+    sound but incomplete, so failure to find a certificate is *not* a
+    counterexample.
+    """

@@ -1,0 +1,30 @@
+"""Hybrid dynamical systems substrate (Goebel-Sanfelice-Teel formalism)."""
+
+from .mode import Mode
+from .transition import Transition
+from .system import HybridSystem
+from .time_domain import ArcSegment, HybridArc, HybridTimeDomain, HybridTimeInterval
+from .simulation import HybridSimulator, SimulationResult, SimulationSettings
+from .equilibrium import (
+    affine_equilibrium,
+    equilibrium_residual,
+    find_equilibrium,
+    linearize_mode,
+)
+
+__all__ = [
+    "Mode",
+    "Transition",
+    "HybridSystem",
+    "HybridTimeInterval",
+    "HybridTimeDomain",
+    "ArcSegment",
+    "HybridArc",
+    "HybridSimulator",
+    "SimulationSettings",
+    "SimulationResult",
+    "find_equilibrium",
+    "affine_equilibrium",
+    "linearize_mode",
+    "equilibrium_residual",
+]

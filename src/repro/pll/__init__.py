@@ -1,0 +1,51 @@
+"""Charge-pump PLL models: Table 1 parameters, behavioural blocks, hybrid models."""
+
+from .parameters import PLLParameters
+from .scaling import StateScaling, normalized_rate_constants, verification_scaling
+from .model import (
+    MODE_IDLE,
+    MODE_NAMES,
+    MODE_PUMP_DOWN,
+    MODE_PUMP_UP,
+    PLLVerificationModel,
+    RegionOfInterest,
+)
+from .construction import build_pll_hybrid_system, rate_constant_intervals
+from .third_order import build_third_order_model, default_third_order_region
+from .fourth_order import build_fourth_order_model, default_fourth_order_region
+from .components import (
+    ChargePump,
+    FrequencyDivider,
+    LoopFilter,
+    PhaseFrequencyDetector,
+    ReferenceOscillator,
+    VoltageControlledOscillator,
+)
+from .behavioral import BehavioralPLLSimulator, BehavioralTrace
+
+__all__ = [
+    "PLLParameters",
+    "StateScaling",
+    "verification_scaling",
+    "normalized_rate_constants",
+    "RegionOfInterest",
+    "PLLVerificationModel",
+    "MODE_IDLE",
+    "MODE_PUMP_UP",
+    "MODE_PUMP_DOWN",
+    "MODE_NAMES",
+    "build_pll_hybrid_system",
+    "rate_constant_intervals",
+    "build_third_order_model",
+    "default_third_order_region",
+    "build_fourth_order_model",
+    "default_fourth_order_region",
+    "PhaseFrequencyDetector",
+    "ChargePump",
+    "LoopFilter",
+    "VoltageControlledOscillator",
+    "FrequencyDivider",
+    "ReferenceOscillator",
+    "BehavioralPLLSimulator",
+    "BehavioralTrace",
+]

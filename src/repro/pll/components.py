@@ -1,0 +1,178 @@
+"""Behavioural component models of the charge-pump PLL.
+
+These classes model the blocks of Figure 1 of the paper (reference, PFD,
+charge pump, loop filter, VCO, divider) at the behavioural level used by the
+event-driven simulator in :mod:`repro.pll.behavioral`.  They are intentionally
+simple — the paper's verification model only relies on the piecewise-affine
+behaviour they produce — but they keep the circuit-level story explicit and
+are unit-tested on their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+
+@dataclass
+class PhaseFrequencyDetector:
+    """Tri-state PFD without cycle-slip memory (as abstracted by the paper).
+
+    State is the pair of latches (UP, DOWN).  A reference edge sets UP, a
+    divider edge sets DOWN, and whenever both are set they reset together
+    (the AND-reset path of the standard PFD, with zero reset delay).
+    The three reachable states map onto the paper's modes:
+    ``(0,0) -> mode1``, ``(1,0) -> mode2``, ``(0,1) -> mode3``.
+    """
+
+    up: bool = False
+    down: bool = False
+
+    def reset(self) -> None:
+        self.up = False
+        self.down = False
+
+    def on_reference_edge(self) -> None:
+        if self.down:
+            self.reset()
+        else:
+            self.up = True
+
+    def on_divider_edge(self) -> None:
+        if self.up:
+            self.reset()
+        else:
+            self.down = True
+
+    @property
+    def output(self) -> int:
+        """+1 while pumping up, -1 while pumping down, 0 when idle."""
+        return int(self.up) - int(self.down)
+
+    @property
+    def mode_name(self) -> str:
+        if self.up and not self.down:
+            return "mode2"
+        if self.down and not self.up:
+            return "mode3"
+        return "mode1"
+
+
+@dataclass(frozen=True)
+class ChargePump:
+    """Ideal charge pump sourcing/sinking ``i_p`` amperes on PFD command."""
+
+    i_p: float
+
+    def __post_init__(self) -> None:
+        if self.i_p <= 0:
+            raise ModelError("charge-pump current must be positive")
+
+    def current(self, pfd_output: int) -> float:
+        if pfd_output not in (-1, 0, 1):
+            raise ModelError(f"PFD output must be in {{-1, 0, 1}}, got {pfd_output}")
+        return self.i_p * pfd_output
+
+
+@dataclass(frozen=True)
+class LoopFilter:
+    """Passive loop filter: series R-C1 branch in parallel with C2.
+
+    Fourth-order designs add a series R2 into C3; the voltage across C3 then
+    drives the VCO.  State ordering matches the verification models:
+    ``(v1, v2)`` for order 3 and ``(v1, v2, v3)`` for order 4.
+    """
+
+    c1: float
+    c2: float
+    r: float
+    c3: Optional[float] = None
+    r2: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if min(self.c1, self.c2, self.r) <= 0:
+            raise ModelError("loop filter component values must be positive")
+        if (self.c3 is None) != (self.r2 is None):
+            raise ModelError("c3 and r2 must be provided together for a fourth-order filter")
+        if self.c3 is not None and min(self.c3, self.r2) <= 0:
+            raise ModelError("loop filter component values must be positive")
+
+    @property
+    def order(self) -> int:
+        """Number of filter state variables (2 or 3)."""
+        return 2 if self.c3 is None else 3
+
+    @property
+    def control_index(self) -> int:
+        """Index of the state variable that drives the VCO."""
+        return 1 if self.order == 2 else 2
+
+    def derivatives(self, voltages: Sequence[float], pump_current: float) -> np.ndarray:
+        """``d/dt`` of the filter state for a given injected charge-pump current."""
+        voltages = np.asarray(voltages, dtype=float)
+        if voltages.shape[0] != self.order:
+            raise ModelError(
+                f"expected {self.order} filter voltages, got {voltages.shape[0]}"
+            )
+        v1, v2 = voltages[0], voltages[1]
+        branch = (v2 - v1) / self.r
+        if self.order == 2:
+            dv1 = branch / self.c1
+            dv2 = (pump_current - branch) / self.c2
+            return np.array([dv1, dv2])
+        v3 = voltages[2]
+        ripple = (v2 - v3) / self.r2
+        dv1 = branch / self.c1
+        dv2 = (pump_current - branch - ripple) / self.c2
+        dv3 = ripple / self.c3
+        return np.array([dv1, dv2, dv3])
+
+    def control_voltage(self, voltages: Sequence[float]) -> float:
+        return float(np.asarray(voltages, dtype=float)[self.control_index])
+
+
+@dataclass(frozen=True)
+class VoltageControlledOscillator:
+    """Linear VCO: ``f_out = f_free + k_vco * v_ctrl`` (hertz)."""
+
+    k_vco: float
+    f_free: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.k_vco <= 0:
+            raise ModelError("VCO gain must be positive")
+
+    def frequency(self, control_voltage: float) -> float:
+        return self.f_free + self.k_vco * control_voltage
+
+    def control_for_frequency(self, frequency: float) -> float:
+        return (frequency - self.f_free) / self.k_vco
+
+
+@dataclass(frozen=True)
+class FrequencyDivider:
+    """Integer-N feedback divider."""
+
+    ratio: float
+
+    def __post_init__(self) -> None:
+        if self.ratio <= 0:
+            raise ModelError("divider ratio must be positive")
+
+    def divided_frequency(self, vco_frequency: float) -> float:
+        return vco_frequency / self.ratio
+
+
+@dataclass(frozen=True)
+class ReferenceOscillator:
+    """Ideal reference producing edges at ``f_ref`` hertz."""
+
+    f_ref: float
+
+    def __post_init__(self) -> None:
+        if self.f_ref <= 0:
+            raise ModelError("reference frequency must be positive")

@@ -1,0 +1,53 @@
+"""Fourth-order CP PLL verification model (states ``v1, v2, v3, e``).
+
+The fourth-order loop filter adds a ripple-suppression section (series R2
+into C3) after the main filter node; the VCO is driven by the voltage across
+C3.  In normalised difference coordinates the dynamics are
+
+    v1' = a1 (v2 - v1)
+    v2' = a2 (v1 - v2) + a23 (v3 - v2) + pump * i_pfd
+    v3' = a3 (v2 - v3)
+    e'  = -kv * v3
+
+with ``a23 = 1/(R2 C2 f_ref)`` and ``a3 = 1/(R2 C3 f_ref)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .construction import build_pll_hybrid_system
+from .model import PLLVerificationModel, RegionOfInterest
+from .parameters import PLLParameters
+from .scaling import verification_scaling
+
+
+def default_fourth_order_region() -> RegionOfInterest:
+    """Axis ranges of Figures 3 and 5 of the paper."""
+    return RegionOfInterest(voltage_bound=8.0, phase_bound=1.0)
+
+
+def build_fourth_order_model(
+    parameters: Optional[PLLParameters] = None,
+    region: Optional[RegionOfInterest] = None,
+    uncertainty: str = "pump",
+    voltage_scale: float = 1.0,
+) -> PLLVerificationModel:
+    """Build the fourth-order verification model (see :func:`build_third_order_model`)."""
+    parameters = parameters or PLLParameters.fourth_order_paper()
+    if parameters.order != 4:
+        raise ValueError(f"expected fourth-order parameters, got order {parameters.order}")
+    region = region or default_fourth_order_region()
+    system, nominal, intervals = build_pll_hybrid_system(
+        parameters, region, uncertainty=uncertainty, voltage_scale=voltage_scale,
+        name="cp_pll_fourth_order",
+    )
+    return PLLVerificationModel(
+        system=system,
+        parameters=parameters,
+        scaling=verification_scaling(parameters, voltage_scale=voltage_scale),
+        region=region,
+        rate_constants=nominal,
+        rate_constant_intervals=intervals,
+        uncertainty=uncertainty,
+    )

@@ -1,0 +1,165 @@
+"""Shared containers for the CP PLL verification models.
+
+The *verification model* is the hybrid system of the paper expressed in
+normalised difference coordinates (Remark 1): states are the loop-filter
+voltage deviations plus the phase difference ``e = (phi_ref - phi_vco)/2pi``,
+time is in reference cycles, and all discrete jumps have identity resets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..hybrid import HybridSystem
+from ..polynomial import Polynomial, Variable, VariableVector
+from ..sos import SemialgebraicSet
+from ..utils import Interval
+from .parameters import PLLParameters
+from .scaling import StateScaling
+
+#: Mode names follow the paper: mode1 = (UP=0, DOWN=0), mode2 = (UP=1, DOWN=0),
+#: mode3 = (UP=0, DOWN=1).
+MODE_IDLE = "mode1"
+MODE_PUMP_UP = "mode2"
+MODE_PUMP_DOWN = "mode3"
+MODE_NAMES = (MODE_IDLE, MODE_PUMP_UP, MODE_PUMP_DOWN)
+
+
+@dataclass(frozen=True)
+class RegionOfInterest:
+    """Box in normalised coordinates over which the property is verified.
+
+    ``voltage_bound`` bounds every loop-filter voltage deviation (volts) and
+    ``phase_bound`` bounds the phase difference (cycles).  Defaults match the
+    axis ranges of the paper's figures (voltages to +-8 V, phase difference to
+    +-2 cycles for the third order and +-1 for the fourth order).
+    """
+
+    voltage_bound: float = 8.0
+    phase_bound: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.voltage_bound <= 0 or self.phase_bound <= 0:
+            raise ModelError("region-of-interest bounds must be positive")
+
+    def bounds_for(self, state_names: Sequence[str]) -> List[Tuple[float, float]]:
+        bounds = []
+        for name in state_names:
+            limit = self.phase_bound if name == "e" else self.voltage_bound
+            bounds.append((-limit, limit))
+        return bounds
+
+    def outer_ellipsoid(self, variables: VariableVector,
+                        state_names: Sequence[str],
+                        margin: float = 1.0) -> Polynomial:
+        """The polynomial whose 0-sublevel set is the outer initial set ``X2``.
+
+        ``sum_i (x_i / r_i)^2 - margin <= 0`` — an axis-aligned ellipsoid
+        inscribed in (``margin = 1``) the region-of-interest box.
+        """
+        poly = Polynomial.constant(variables, -float(margin))
+        for i, name in enumerate(state_names):
+            limit = self.phase_bound if name == "e" else self.voltage_bound
+            xi = Polynomial.from_variable(variables[i], variables)
+            poly = poly + xi * xi * (1.0 / (limit * limit))
+        return poly
+
+    def contains(self, state: Sequence[float], state_names: Sequence[str],
+                 tolerance: float = 1e-9) -> bool:
+        for value, (lo, hi) in zip(state, self.bounds_for(state_names)):
+            if value < lo - tolerance or value > hi + tolerance:
+                return False
+        return True
+
+
+@dataclass
+class PLLVerificationModel:
+    """A CP PLL hybrid model in normalised difference coordinates.
+
+    Attributes
+    ----------
+    system:
+        The :class:`~repro.hybrid.HybridSystem` with modes ``mode1/2/3``.
+    parameters:
+        The physical parameter set the model was built from.
+    scaling:
+        Physical <-> normalised state mapping.
+    region:
+        The region of interest (state box) used for all S-procedure domains.
+    rate_constants:
+        Nominal dimensionless rate constants of the normalised dynamics.
+    rate_constant_intervals:
+        Interval enclosures of the rate constants over the parameter box.
+    uncertainty:
+        Which constants were modelled as uncertain parameter variables
+        (``"none"``, ``"pump"`` or ``"full"``).
+    """
+
+    system: HybridSystem
+    parameters: PLLParameters
+    scaling: StateScaling
+    region: RegionOfInterest
+    rate_constants: Dict[str, float]
+    rate_constant_intervals: Dict[str, Interval]
+    uncertainty: str = "pump"
+
+    # ------------------------------------------------------------------
+    @property
+    def state_variables(self) -> VariableVector:
+        return self.system.state_variables
+
+    @property
+    def state_names(self) -> Tuple[str, ...]:
+        return self.system.state_variables.names
+
+    @property
+    def order(self) -> int:
+        return self.parameters.order
+
+    @property
+    def phase_variable(self) -> Variable:
+        return self.system.state_variables[-1]
+
+    def state_bounds(self) -> List[Tuple[float, float]]:
+        return self.region.bounds_for(self.state_names)
+
+    def region_box_set(self, name: str = "region") -> SemialgebraicSet:
+        """The region-of-interest box as a semialgebraic set."""
+        empty = SemialgebraicSet(self.state_variables, name=name)
+        return empty.with_box(self.state_bounds())
+
+    def mode_domain(self, mode_name: str) -> SemialgebraicSet:
+        """Flow set of a mode intersected with the region of interest."""
+        mode = self.system.mode(mode_name)
+        return mode.flow_set.intersect(self.region_box_set(name=f"{mode_name}_roi"))
+
+    def outer_set_polynomial(self, margin: float = 1.0) -> Polynomial:
+        """Polynomial description of the initial outer set X2 (0-sublevel set)."""
+        return self.region.outer_ellipsoid(self.state_variables, self.state_names,
+                                           margin=margin)
+
+    def equilibrium(self) -> np.ndarray:
+        if self.system.equilibrium is None:
+            raise ModelError("verification model has no equilibrium recorded")
+        return self.system.equilibrium
+
+    def nominal_fields(self) -> Dict[str, Tuple[Polynomial, ...]]:
+        """State-only vector fields at nominal parameter values, per mode."""
+        nominal = self.system.nominal_parameters()
+        return {mode.name: mode.flow_map_with_parameters(nominal)
+                for mode in self.system.modes}
+
+    def describe(self) -> str:
+        lines = [
+            f"PLLVerificationModel(order={self.order}, uncertainty={self.uncertainty!r})",
+            f"  states: {list(self.state_names)}  (normalised, time in reference cycles)",
+            f"  region: |v| <= {self.region.voltage_bound} V, |e| <= {self.region.phase_bound} cycles",
+            "  rate constants: "
+            + ", ".join(f"{k}={v:.4g}" for k, v in self.rate_constants.items()),
+        ]
+        lines.append(self.system.describe())
+        return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Third-order CP PLL verification model (states ``v1, v2, e``).
+
+This is the system of equation (3) of the paper after the change of
+variables of Remark 1 (phase difference as a state, identity jump maps) and
+the normalisation of :mod:`repro.pll.scaling`:
+
+    v1' = a1 (v2 - v1)
+    v2' = a2 (v1 - v2) + pump * i_pfd          i_pfd in {0, +1, -1}
+    e'  = -kv * v2
+
+with the three PFD modes selecting ``i_pfd`` and the dimensionless constants
+``a1 = 1/(R C1 f_ref)``, ``a2 = 1/(R C2 f_ref)``, ``pump = Ip/(C2 f_ref)``,
+``kv = K_vco/(N f_ref)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .construction import build_pll_hybrid_system
+from .model import PLLVerificationModel, RegionOfInterest
+from .parameters import PLLParameters
+from .scaling import verification_scaling
+
+
+def default_third_order_region() -> RegionOfInterest:
+    """Axis ranges of Figures 2 and 4 of the paper."""
+    return RegionOfInterest(voltage_bound=8.0, phase_bound=2.0)
+
+
+def build_third_order_model(
+    parameters: Optional[PLLParameters] = None,
+    region: Optional[RegionOfInterest] = None,
+    uncertainty: str = "pump",
+    voltage_scale: float = 1.0,
+) -> PLLVerificationModel:
+    """Build the third-order verification model.
+
+    Parameters
+    ----------
+    parameters:
+        Physical parameter set; defaults to the paper's Table 1 column.
+    region:
+        Region of interest in normalised coordinates; defaults to the paper's
+        figure ranges.
+    uncertainty:
+        ``"none"`` (nominal constants), ``"pump"`` (charge-pump rate uncertain,
+        the dominant Table 1 interval) or ``"full"`` (all rate constants
+        uncertain).
+    voltage_scale:
+        Volts per normalised voltage unit (1.0 keeps voltages in volts).
+    """
+    parameters = parameters or PLLParameters.third_order_paper()
+    if parameters.order != 3:
+        raise ValueError(f"expected third-order parameters, got order {parameters.order}")
+    region = region or default_third_order_region()
+    system, nominal, intervals = build_pll_hybrid_system(
+        parameters, region, uncertainty=uncertainty, voltage_scale=voltage_scale,
+        name="cp_pll_third_order",
+    )
+    return PLLVerificationModel(
+        system=system,
+        parameters=parameters,
+        scaling=verification_scaling(parameters, voltage_scale=voltage_scale),
+        region=region,
+        rate_constants=nominal,
+        rate_constant_intervals=intervals,
+        uncertainty=uncertainty,
+    )

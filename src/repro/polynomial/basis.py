@@ -1,0 +1,115 @@
+"""Monomial basis construction for SOS Gram parameterisations.
+
+The central operation is: given a target polynomial degree ``2d``, build the
+vector of monomials ``z(x)`` such that any SOS polynomial of degree ``2d`` can
+be written ``z(x)^T Q z(x)`` with ``Q ⪰ 0``.  Utilities for trimming the basis
+(parity filtering, degree windows) keep the resulting SDP blocks small.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .monomial import Monomial, exponents_up_to_degree
+from .polynomial import Polynomial
+from .variables import VariableVector
+
+
+def monomial_basis(num_variables: int, max_degree: int,
+                   min_degree: int = 0) -> Tuple[Monomial, ...]:
+    """All monomials with total degree in ``[min_degree, max_degree]``.
+
+    Sorted in graded lexicographic order (constant first when included).
+    """
+    if max_degree < 0:
+        raise ValueError("max_degree must be non-negative")
+    if min_degree < 0 or min_degree > max_degree:
+        raise ValueError("min_degree must satisfy 0 <= min_degree <= max_degree")
+    monos = [Monomial(e) for e in exponents_up_to_degree(num_variables, max_degree, min_degree)]
+    monos.sort(key=Monomial.sort_key)
+    return tuple(monos)
+
+
+def basis_size(num_variables: int, max_degree: int) -> int:
+    """Number of monomials of degree <= max_degree: C(n + d, d)."""
+    from math import comb
+
+    return comb(num_variables + max_degree, max_degree)
+
+
+def gram_basis_for_degree(num_variables: int, polynomial_degree: int,
+                          include_constant: bool = True) -> Tuple[Monomial, ...]:
+    """Monomial vector for the Gram form of an SOS polynomial of given degree.
+
+    An SOS polynomial of degree ``2d`` needs monomials up to degree ``d``.
+    Odd target degrees are rounded up (the certificate is then of degree
+    ``2*ceil(deg/2)``).  When ``include_constant`` is False the constant
+    monomial is omitted, forcing the SOS polynomial to vanish at the origin —
+    the natural choice for Lyapunov certificates with ``V(0) = 0``.
+    """
+    if polynomial_degree < 0:
+        raise ValueError("polynomial degree must be non-negative")
+    half = (polynomial_degree + 1) // 2
+    min_degree = 0 if include_constant else 1
+    if half < min_degree:
+        half = min_degree
+    return monomial_basis(num_variables, half, min_degree)
+
+
+def basis_for_support(target: Polynomial, extra_degree: int = 0) -> Tuple[Monomial, ...]:
+    """A Gram basis adapted to the support of ``target``.
+
+    Uses the simple degree bound (Newton-polytope trimming would be tighter but
+    the problems in this library are small enough that the degree bound keeps
+    block sizes manageable).
+    """
+    half = (target.degree + 1) // 2 + extra_degree
+    return monomial_basis(target.num_variables, half)
+
+
+def equality_basis(polynomials: Sequence[Polynomial],
+                   extra: Sequence[Monomial] = ()) -> Tuple[Monomial, ...]:
+    """The union of the supports of ``polynomials`` plus ``extra`` monomials.
+
+    Used to build the coefficient-matching equality constraints of an SOS
+    program: every monomial that can appear on either side of the identity
+    must be matched.
+    """
+    seen = set()
+    result: List[Monomial] = []
+    for poly in polynomials:
+        for mono in poly.coefficients:
+            if mono not in seen:
+                seen.add(mono)
+                result.append(mono)
+    for mono in extra:
+        if mono not in seen:
+            seen.add(mono)
+            result.append(mono)
+    result.sort(key=Monomial.sort_key)
+    return tuple(result)
+
+
+def even_basis(num_variables: int, max_degree: int) -> Tuple[Monomial, ...]:
+    """Monomials of even total degree only (useful for symmetric certificates)."""
+    return tuple(m for m in monomial_basis(num_variables, max_degree) if m.degree % 2 == 0)
+
+
+def basis_to_polynomials(variables: VariableVector,
+                         basis: Sequence[Monomial]) -> Tuple[Polynomial, ...]:
+    """Lift a monomial basis to a tuple of monomial polynomials."""
+    return tuple(Polynomial(variables, {m: 1.0}) for m in basis)
+
+
+def product_support(basis: Sequence[Monomial]) -> Tuple[Monomial, ...]:
+    """All monomials reachable as products ``basis[i] * basis[j]`` (i <= j)."""
+    seen = set()
+    out: List[Monomial] = []
+    for i, mi in enumerate(basis):
+        for mj in basis[i:]:
+            prod = mi * mj
+            if prod not in seen:
+                seen.add(prod)
+                out.append(prod)
+    out.sort(key=Monomial.sort_key)
+    return tuple(out)

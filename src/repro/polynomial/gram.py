@@ -1,0 +1,142 @@
+"""Gram-matrix representations of (candidate) SOS polynomials.
+
+A polynomial ``p`` of degree ``2d`` is a sum of squares iff there is a
+positive semidefinite matrix ``Q`` (the Gram matrix) with
+``p(x) = z(x)^T Q z(x)`` for the monomial vector ``z`` of degree ``d``.
+This module provides the bookkeeping between the two representations and the
+a-posteriori certification utilities used to validate solver output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .monomial import Monomial
+from .polynomial import Polynomial
+from .variables import VariableVector
+
+
+def gram_to_polynomial(variables: VariableVector, basis: Sequence[Monomial],
+                       gram: np.ndarray) -> Polynomial:
+    """Expand ``z(x)^T Q z(x)`` into a :class:`Polynomial`."""
+    gram = np.asarray(gram, dtype=float)
+    n = len(basis)
+    if gram.shape != (n, n):
+        raise ValueError(f"Gram matrix shape {gram.shape} does not match basis size {n}")
+    gram = 0.5 * (gram + gram.T)
+    coeffs: Dict[Monomial, float] = {}
+    for i in range(n):
+        for j in range(n):
+            prod = basis[i] * basis[j]
+            coeffs[prod] = coeffs.get(prod, 0.0) + gram[i, j]
+    return Polynomial(variables, coeffs)
+
+
+def polynomial_to_gram_structure(
+    basis: Sequence[Monomial],
+) -> Dict[Monomial, List[Tuple[int, int, float]]]:
+    """For each product monomial, the Gram entries (i, j, weight) contributing to it.
+
+    The weight is 1.0 for diagonal entries and 2.0 for off-diagonal entries
+    (since ``Q`` is symmetric, entry (i, j) with i < j appears twice).
+    """
+    structure: Dict[Monomial, List[Tuple[int, int, float]]] = {}
+    n = len(basis)
+    for i in range(n):
+        for j in range(i, n):
+            prod = basis[i] * basis[j]
+            weight = 1.0 if i == j else 2.0
+            structure.setdefault(prod, []).append((i, j, weight))
+    return structure
+
+
+@dataclass
+class SOSDecomposition:
+    """An explicit decomposition ``p = sum_k (g_k)^2 + residual``."""
+
+    squares: Tuple[Polynomial, ...]
+    residual: Polynomial
+    gram: np.ndarray
+    basis: Tuple[Monomial, ...]
+    min_eigenvalue: float
+
+    @property
+    def residual_norm(self) -> float:
+        return self.residual.max_abs_coefficient()
+
+    def is_valid(self, residual_tolerance: float = 1e-6,
+                 eigenvalue_tolerance: float = -1e-8) -> bool:
+        """True when the Gram matrix is (numerically) PSD and the residual tiny."""
+        return (self.min_eigenvalue >= eigenvalue_tolerance
+                and self.residual_norm <= residual_tolerance)
+
+
+def extract_sos_decomposition(poly: Polynomial, gram: np.ndarray,
+                              basis: Sequence[Monomial]) -> SOSDecomposition:
+    """Build the explicit sum-of-squares witnessed by a Gram matrix.
+
+    The eigendecomposition of ``Q`` gives ``p ≈ sum_k lam_k (v_k^T z)^2``;
+    negative eigenvalues (numerical noise) are clipped and reported through
+    ``min_eigenvalue`` so the caller can decide whether the certificate is
+    acceptable.
+    """
+    gram = 0.5 * (np.asarray(gram, dtype=float) + np.asarray(gram, dtype=float).T)
+    eigenvalues, eigenvectors = np.linalg.eigh(gram)
+    squares: List[Polynomial] = []
+    variables = poly.variables
+    basis_polys = [Polynomial(variables, {m: 1.0}) for m in basis]
+    for lam, vec in zip(eigenvalues, eigenvectors.T):
+        if lam <= 0:
+            continue
+        component = Polynomial.zero(variables)
+        scale = float(np.sqrt(lam))
+        for coeff, bp in zip(vec, basis_polys):
+            if abs(coeff) > 1e-14:
+                component = component + bp * (scale * float(coeff))
+        squares.append(component)
+    reconstructed = gram_to_polynomial(variables, basis, gram)
+    residual = poly - reconstructed
+    return SOSDecomposition(
+        squares=tuple(squares),
+        residual=residual,
+        gram=gram,
+        basis=tuple(basis),
+        min_eigenvalue=float(eigenvalues.min()) if len(eigenvalues) else 0.0,
+    )
+
+
+def project_to_psd(matrix: np.ndarray, floor: float = 0.0) -> np.ndarray:
+    """Nearest (Frobenius) PSD matrix, with eigenvalues clipped at ``floor``."""
+    matrix = 0.5 * (np.asarray(matrix, dtype=float) + np.asarray(matrix, dtype=float).T)
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    clipped = np.clip(eigenvalues, floor, None)
+    return (eigenvectors * clipped) @ eigenvectors.T
+
+
+def check_sos_numerically(poly: Polynomial, num_samples: int = 200,
+                          radius: float = 2.0, seed: int = 0) -> float:
+    """Minimum sampled value of ``poly`` over random points in a ball.
+
+    This is a falsification aid: a genuinely SOS polynomial can never be
+    negative, so a negative sampled value disproves a claimed decomposition.
+    """
+    rng = np.random.default_rng(seed)
+    n = poly.num_variables
+    if n == 0:
+        return poly.constant_term()
+    points = rng.normal(size=(num_samples, n))
+    norms = np.linalg.norm(points, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    radii = radius * rng.uniform(size=(num_samples, 1)) ** (1.0 / n)
+    points = points / norms * radii
+    values = poly.evaluate_many(points)
+    return float(values.min())
+
+
+def gram_residual(poly: Polynomial, gram: np.ndarray, basis: Sequence[Monomial]) -> float:
+    """Max coefficient mismatch between ``poly`` and ``z^T Q z``."""
+    reconstructed = gram_to_polynomial(poly.variables, basis, gram)
+    return (poly - reconstructed).max_abs_coefficient()

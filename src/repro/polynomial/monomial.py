@@ -1,0 +1,185 @@
+"""Monomials over a fixed variable ordering.
+
+A monomial is stored as a tuple of non-negative integer exponents whose
+positions refer to a :class:`~repro.polynomial.variables.VariableVector`.
+Monomials are value objects: hashable, comparable under graded lexicographic
+order, and support multiplication / division / evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .variables import Variable, VariableVector
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """A power product ``x1^e1 * x2^e2 * ... * xn^en``.
+
+    Only the exponent tuple is stored; the meaning of each position is given
+    by the variable vector of the enclosing polynomial.
+    """
+
+    exponents: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any((not isinstance(e, (int, np.integer))) or e < 0 for e in self.exponents):
+            raise ValueError(f"exponents must be non-negative integers, got {self.exponents}")
+        object.__setattr__(self, "exponents", tuple(int(e) for e in self.exponents))
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def constant(cls, num_variables: int) -> "Monomial":
+        """The monomial ``1`` in ``num_variables`` variables."""
+        return cls((0,) * num_variables)
+
+    @classmethod
+    def unit(cls, index: int, num_variables: int, power: int = 1) -> "Monomial":
+        """The monomial ``x_index ** power``."""
+        if not 0 <= index < num_variables:
+            raise IndexError(f"variable index {index} out of range for {num_variables} variables")
+        exps = [0] * num_variables
+        exps[index] = power
+        return cls(tuple(exps))
+
+    # -- basic queries -----------------------------------------------------
+    @property
+    def degree(self) -> int:
+        return sum(self.exponents)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.exponents)
+
+    def is_constant(self) -> bool:
+        return self.degree == 0
+
+    def is_even(self) -> bool:
+        """True when every exponent is even (needed for diagonal Gram entries)."""
+        return all(e % 2 == 0 for e in self.exponents)
+
+    def involves(self, index: int) -> bool:
+        return self.exponents[index] > 0
+
+    # -- algebra -----------------------------------------------------------
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        if len(self.exponents) != len(other.exponents):
+            raise ValueError("cannot multiply monomials over different variable counts")
+        return Monomial(tuple(a + b for a, b in zip(self.exponents, other.exponents)))
+
+    def divides(self, other: "Monomial") -> bool:
+        return all(a <= b for a, b in zip(self.exponents, other.exponents))
+
+    def __truediv__(self, other: "Monomial") -> "Monomial":
+        if not other.divides(self):
+            raise ValueError(f"{other} does not divide {self}")
+        return Monomial(tuple(a - b for a, b in zip(self.exponents, other.exponents)))
+
+    def pow(self, power: int) -> "Monomial":
+        if power < 0:
+            raise ValueError("monomial powers must be non-negative")
+        return Monomial(tuple(e * power for e in self.exponents))
+
+    def differentiate(self, index: int) -> Tuple[float, "Monomial"]:
+        """Return ``(coefficient, monomial)`` of d/dx_index applied to self."""
+        e = self.exponents[index]
+        if e == 0:
+            return 0.0, Monomial.constant(self.num_variables)
+        exps = list(self.exponents)
+        exps[index] = e - 1
+        return float(e), Monomial(tuple(exps))
+
+    # -- evaluation --------------------------------------------------------
+    def evaluate(self, point: Sequence[float]) -> float:
+        if len(point) != len(self.exponents):
+            raise ValueError(
+                f"point has {len(point)} coordinates, monomial expects {len(self.exponents)}"
+            )
+        value = 1.0
+        for coord, exp in zip(point, self.exponents):
+            if exp:
+                value *= float(coord) ** exp
+        return value
+
+    def evaluate_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation on an ``(m, n)`` array of points."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        if points.shape[1] != len(self.exponents):
+            raise ValueError("point dimension mismatch")
+        result = np.ones(points.shape[0])
+        for j, exp in enumerate(self.exponents):
+            if exp:
+                result = result * points[:, j] ** exp
+        return result
+
+    # -- ordering / display ------------------------------------------------
+    def sort_key(self) -> Tuple[int, Tuple[int, ...]]:
+        """Graded lexicographic key: total degree first, then exponents."""
+        return (self.degree, tuple(-e for e in self.exponents))
+
+    def __lt__(self, other: "Monomial") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def to_string(self, variables: Optional[VariableVector] = None) -> str:
+        if self.is_constant():
+            return "1"
+        parts = []
+        for i, exp in enumerate(self.exponents):
+            if exp == 0:
+                continue
+            name = variables[i].name if variables is not None else f"x{i}"
+            parts.append(name if exp == 1 else f"{name}^{exp}")
+        return "*".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Monomial{self.exponents}"
+
+    def as_dict(self, variables: VariableVector) -> Dict[Variable, int]:
+        return {variables[i]: e for i, e in enumerate(self.exponents) if e > 0}
+
+
+def monomial_product_index(
+    basis: Sequence[Monomial],
+) -> Dict[Tuple[int, int], Monomial]:
+    """Pre-compute ``basis[i] * basis[j]`` for all ``i <= j``.
+
+    Used by the Gram-matrix machinery: an SOS polynomial ``z(x)^T Q z(x)``
+    expands as ``sum_{i,j} Q_ij basis[i] basis[j]``.
+    """
+    products: Dict[Tuple[int, int], Monomial] = {}
+    for i, mi in enumerate(basis):
+        for j in range(i, len(basis)):
+            products[(i, j)] = mi * basis[j]
+    return products
+
+
+def exponents_up_to_degree(num_variables: int, max_degree: int,
+                           min_degree: int = 0) -> Iterable[Tuple[int, ...]]:
+    """Yield all exponent tuples with ``min_degree <= total degree <= max_degree``.
+
+    Ordered by graded lexicographic order (constant first).
+    """
+    if num_variables == 0:
+        if min_degree <= 0 <= max_degree:
+            yield ()
+        return
+
+    def _compositions(total: int, slots: int):
+        if slots == 1:
+            yield (total,)
+            return
+        for first in range(total, -1, -1):
+            for rest in _compositions(total - first, slots - 1):
+                yield (first,) + rest
+
+    for degree in range(min_degree, max_degree + 1):
+        for combo in _compositions(degree, num_variables):
+            yield combo

@@ -1,0 +1,271 @@
+"""Polynomials whose coefficients are affine expressions in decision variables.
+
+A :class:`ParametricPolynomial` represents ``p(x; d) = sum_k c_k(d) m_k(x)``
+where each coefficient ``c_k`` is a :class:`LinExpr` over decision variables
+``d``.  These objects are the terms of SOS constraints: unknown Lyapunov
+certificates, unknown multipliers and unknown level-set polynomials are all
+parametric polynomials; products with *numeric* polynomials keep them affine
+in ``d``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .linexpr import DecisionVariable, LinExpr, _is_number
+from .monomial import Monomial
+from .polynomial import Polynomial
+from .variables import Variable, VariableVector
+
+PolyLike = Union["ParametricPolynomial", Polynomial, Variable, float, int]
+
+
+class ParametricPolynomial:
+    """A polynomial in ``x`` with affine-in-decision-variable coefficients."""
+
+    __slots__ = ("variables", "coefficients")
+
+    def __init__(self, variables: VariableVector,
+                 coefficients: Optional[Mapping[Monomial, LinExpr]] = None):
+        if not isinstance(variables, VariableVector):
+            variables = VariableVector(variables)
+        self.variables = variables
+        coeffs: Dict[Monomial, LinExpr] = {}
+        if coefficients:
+            for mono, expr in coefficients.items():
+                if mono.num_variables != len(variables):
+                    raise ValueError(
+                        f"monomial {mono} incompatible with {len(variables)} variables"
+                    )
+                expr = LinExpr.coerce(expr)
+                if expr:
+                    coeffs[mono] = expr
+        self.coefficients = coeffs
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, variables: VariableVector) -> "ParametricPolynomial":
+        return cls(variables, {})
+
+    @classmethod
+    def from_polynomial(cls, poly: Polynomial) -> "ParametricPolynomial":
+        return cls(poly.variables,
+                   {m: LinExpr.from_constant(c) for m, c in poly.coefficients.items()})
+
+    @classmethod
+    def from_basis(cls, variables: VariableVector, basis: Sequence[Monomial],
+                   decision_variables: Sequence[DecisionVariable]) -> "ParametricPolynomial":
+        """``sum_k d_k * basis[k]`` — a fully free polynomial template."""
+        if len(basis) != len(decision_variables):
+            raise ValueError("basis and decision variable counts differ")
+        return cls(variables, {m: LinExpr.from_variable(d)
+                               for m, d in zip(basis, decision_variables)})
+
+    @staticmethod
+    def coerce(value: PolyLike,
+               variables: Optional[VariableVector] = None) -> "ParametricPolynomial":
+        if isinstance(value, ParametricPolynomial):
+            return value
+        if isinstance(value, Polynomial):
+            return ParametricPolynomial.from_polynomial(value)
+        if isinstance(value, Variable):
+            if variables is None or value not in variables:
+                variables = VariableVector([value]) if variables is None else variables.union(
+                    VariableVector([value]))
+            return ParametricPolynomial.from_polynomial(
+                Polynomial.from_variable(value, variables))
+        if _is_number(value):
+            if variables is None:
+                variables = VariableVector([])
+            return ParametricPolynomial(
+                variables, {Monomial.constant(len(variables)): LinExpr.from_constant(value)})
+        if isinstance(value, (LinExpr, DecisionVariable)):
+            if variables is None:
+                variables = VariableVector([])
+            return ParametricPolynomial(
+                variables, {Monomial.constant(len(variables)): LinExpr.coerce(value)})
+        raise TypeError(f"cannot interpret {value!r} as a parametric polynomial")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        if not self.coefficients:
+            return 0
+        return max(m.degree for m in self.coefficients)
+
+    def monomials(self) -> Tuple[Monomial, ...]:
+        return tuple(sorted(self.coefficients, key=Monomial.sort_key))
+
+    def decision_variables(self) -> Tuple[DecisionVariable, ...]:
+        seen = {}
+        for expr in self.coefficients.values():
+            for var in expr.coeffs:
+                seen[var.uid] = var
+        return tuple(seen[uid] for uid in sorted(seen))
+
+    def coefficient(self, monomial: Monomial) -> LinExpr:
+        return self.coefficients.get(monomial, LinExpr.from_constant(0.0))
+
+    def is_numeric(self) -> bool:
+        return all(expr.is_constant() for expr in self.coefficients.values())
+
+    # ------------------------------------------------------------------
+    # Variable handling
+    # ------------------------------------------------------------------
+    def with_variables(self, variables: VariableVector) -> "ParametricPolynomial":
+        if variables == self.variables:
+            return self
+        mapping = [variables.index(v) for v in self.variables]
+        n_new = len(variables)
+        coeffs: Dict[Monomial, LinExpr] = {}
+        for mono, expr in self.coefficients.items():
+            exps = [0] * n_new
+            for old_idx, exp in enumerate(mono.exponents):
+                exps[mapping[old_idx]] = exp
+            key = Monomial(tuple(exps))
+            coeffs[key] = coeffs.get(key, LinExpr.from_constant(0.0)) + expr
+        return ParametricPolynomial(variables, coeffs)
+
+    def _align(self, other: "ParametricPolynomial"):
+        if self.variables == other.variables:
+            return self, other
+        merged = self.variables.union(other.variables)
+        return self.with_variables(merged), other.with_variables(merged)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (affine in decision variables)
+    # ------------------------------------------------------------------
+    def __add__(self, other: PolyLike) -> "ParametricPolynomial":
+        try:
+            other_pp = ParametricPolynomial.coerce(other, self.variables)
+        except TypeError:
+            return NotImplemented
+        left, right = self._align(other_pp)
+        coeffs = dict(left.coefficients)
+        for mono, expr in right.coefficients.items():
+            coeffs[mono] = coeffs.get(mono, LinExpr.from_constant(0.0)) + expr
+        return ParametricPolynomial(left.variables, coeffs)
+
+    def __radd__(self, other: PolyLike) -> "ParametricPolynomial":
+        return self.__add__(other)
+
+    def __neg__(self) -> "ParametricPolynomial":
+        return ParametricPolynomial(self.variables,
+                                    {m: -e for m, e in self.coefficients.items()})
+
+    def __sub__(self, other: PolyLike) -> "ParametricPolynomial":
+        try:
+            other_pp = ParametricPolynomial.coerce(other, self.variables)
+        except TypeError:
+            return NotImplemented
+        return self.__add__(-other_pp)
+
+    def __rsub__(self, other: PolyLike) -> "ParametricPolynomial":
+        return (-self).__add__(other)
+
+    def __mul__(self, other) -> "ParametricPolynomial":
+        # Scalar (number or affine expression) multiplication.
+        if _is_number(other):
+            return ParametricPolynomial(
+                self.variables, {m: e * float(other) for m, e in self.coefficients.items()})
+        if isinstance(other, (LinExpr, DecisionVariable)):
+            expr = LinExpr.coerce(other)
+            if expr.is_constant():
+                return self * expr.constant
+            if self.is_numeric():
+                return ParametricPolynomial(
+                    self.variables,
+                    {m: expr * e.constant for m, e in self.coefficients.items()})
+            raise ValueError("product would be bilinear in decision variables")
+        # Polynomial multiplication: at most one factor may carry decision variables.
+        if isinstance(other, Variable):
+            other = Polynomial.from_variable(other)
+        if isinstance(other, Polynomial):
+            other = ParametricPolynomial.from_polynomial(other)
+        if isinstance(other, ParametricPolynomial):
+            if not (self.is_numeric() or other.is_numeric()):
+                raise ValueError(
+                    "product of two parametric polynomials with decision variables is bilinear; "
+                    "restructure the SOS program so one factor is numeric"
+                )
+            left, right = self._align(other)
+            coeffs: Dict[Monomial, LinExpr] = {}
+            # Ensure the numeric factor supplies plain floats.
+            if left.is_numeric():
+                numeric, symbolic = left, right
+            else:
+                numeric, symbolic = right, left
+            for m1, e1 in numeric.coefficients.items():
+                c1 = e1.constant
+                if c1 == 0.0:
+                    continue
+                for m2, e2 in symbolic.coefficients.items():
+                    prod = m1 * m2
+                    coeffs[prod] = coeffs.get(prod, LinExpr.from_constant(0.0)) + e2 * c1
+            return ParametricPolynomial(left.variables, coeffs)
+        return NotImplemented
+
+    def __rmul__(self, other) -> "ParametricPolynomial":
+        return self.__mul__(other)
+
+    def __truediv__(self, other) -> "ParametricPolynomial":
+        if _is_number(other):
+            if float(other) == 0.0:
+                raise ZeroDivisionError
+            return self * (1.0 / float(other))
+        return NotImplemented
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def instantiate(self, assignment: Mapping[DecisionVariable, float]) -> Polynomial:
+        """Substitute decision-variable values, producing a numeric polynomial."""
+        coeffs: Dict[Monomial, float] = {}
+        for mono, expr in self.coefficients.items():
+            coeffs[mono] = expr.evaluate(assignment)
+        return Polynomial(self.variables, coeffs)
+
+    def to_polynomial(self) -> Polynomial:
+        """Convert a purely numeric parametric polynomial to a Polynomial."""
+        if not self.is_numeric():
+            raise ValueError("parametric polynomial still contains decision variables")
+        return Polynomial(self.variables,
+                          {m: e.constant for m, e in self.coefficients.items()})
+
+    # ------------------------------------------------------------------
+    # Calculus (needed for Lie derivatives of unknown certificates)
+    # ------------------------------------------------------------------
+    def differentiate(self, variable: Union[Variable, int]) -> "ParametricPolynomial":
+        index = variable if isinstance(variable, int) else self.variables.index(variable)
+        coeffs: Dict[Monomial, LinExpr] = {}
+        for mono, expr in self.coefficients.items():
+            factor, dmono = mono.differentiate(index)
+            if factor:
+                coeffs[dmono] = coeffs.get(dmono, LinExpr.from_constant(0.0)) + expr * factor
+        return ParametricPolynomial(self.variables, coeffs)
+
+    def gradient(self) -> Tuple["ParametricPolynomial", ...]:
+        return tuple(self.differentiate(i) for i in range(len(self.variables)))
+
+    def lie_derivative(self, vector_field: Sequence[Polynomial]) -> "ParametricPolynomial":
+        if len(vector_field) != len(self.variables):
+            raise ValueError("vector field dimension mismatch")
+        result = ParametricPolynomial.zero(self.variables)
+        for i, component in enumerate(vector_field):
+            partial = self.differentiate(i)
+            if not partial.coefficients:
+                continue
+            result = result + partial * component
+        return result
+
+    def __repr__(self) -> str:
+        terms = []
+        for mono in self.monomials():
+            terms.append(f"({self.coefficients[mono]!r})*{mono.to_string(self.variables)}")
+        return "ParametricPolynomial(" + (" + ".join(terms) if terms else "0") + ")"

@@ -1,0 +1,509 @@
+"""Dense-coefficient multivariate polynomials with real coefficients.
+
+The :class:`Polynomial` class is the numeric workhorse of the whole library:
+hybrid-system flow maps, Lyapunov certificates, level-set functions and escape
+certificates are all instances of it.  Coefficients are stored sparsely as a
+``{Monomial: float}`` mapping over a fixed :class:`VariableVector`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .monomial import Monomial
+from .variables import Variable, VariableVector
+
+Number = Union[int, float, np.integer, np.floating]
+
+#: Coefficients with absolute value below this threshold are dropped.
+COEFFICIENT_TOLERANCE = 1e-14
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float, np.integer, np.floating))
+
+
+class Polynomial:
+    """A real multivariate polynomial ``sum_k c_k * m_k(x)``.
+
+    Parameters
+    ----------
+    variables:
+        The ordered indeterminates.  All monomial exponent tuples are
+        interpreted positionally against this vector.
+    coefficients:
+        Mapping from :class:`Monomial` (or raw exponent tuples) to real
+        coefficients.  Near-zero coefficients are dropped.
+    """
+
+    __slots__ = ("variables", "coefficients")
+
+    def __init__(
+        self,
+        variables: Union[VariableVector, Sequence[Variable]],
+        coefficients: Optional[Mapping[Union[Monomial, Tuple[int, ...]], Number]] = None,
+    ):
+        if not isinstance(variables, VariableVector):
+            variables = VariableVector(variables)
+        self.variables: VariableVector = variables
+        coeffs: Dict[Monomial, float] = {}
+        if coefficients:
+            n = len(variables)
+            for key, value in coefficients.items():
+                mono = key if isinstance(key, Monomial) else Monomial(tuple(key))
+                if mono.num_variables != n:
+                    raise ValueError(
+                        f"monomial {mono} has {mono.num_variables} variables, expected {n}"
+                    )
+                fval = float(value)
+                if abs(fval) > COEFFICIENT_TOLERANCE:
+                    coeffs[mono] = coeffs.get(mono, 0.0) + fval
+        self.coefficients: Dict[Monomial, float] = {
+            m: c for m, c in coeffs.items() if abs(c) > COEFFICIENT_TOLERANCE
+        }
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, variables: Union[VariableVector, Sequence[Variable]]) -> "Polynomial":
+        return cls(variables, {})
+
+    @classmethod
+    def constant(
+        cls, variables: Union[VariableVector, Sequence[Variable]], value: Number
+    ) -> "Polynomial":
+        if not isinstance(variables, VariableVector):
+            variables = VariableVector(variables)
+        return cls(variables, {Monomial.constant(len(variables)): float(value)})
+
+    @classmethod
+    def from_variable(cls, variable: Variable,
+                      variables: Optional[VariableVector] = None) -> "Polynomial":
+        """The degree-1 polynomial equal to ``variable``."""
+        if variables is None:
+            variables = VariableVector([variable])
+        index = variables.index(variable)
+        return cls(variables, {Monomial.unit(index, len(variables)): 1.0})
+
+    @classmethod
+    def monomial(cls, variables: VariableVector, exponents: Sequence[int],
+                 coefficient: Number = 1.0) -> "Polynomial":
+        return cls(variables, {Monomial(tuple(exponents)): coefficient})
+
+    @classmethod
+    def from_coefficient_vector(
+        cls,
+        variables: VariableVector,
+        basis: Sequence[Monomial],
+        vector: Sequence[Number],
+    ) -> "Polynomial":
+        """Build ``sum_k vector[k] * basis[k]``."""
+        if len(basis) != len(vector):
+            raise ValueError("basis and coefficient vector lengths differ")
+        return cls(variables, dict(zip(basis, (float(v) for v in vector))))
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def degree(self) -> int:
+        if not self.coefficients:
+            return 0
+        return max(m.degree for m in self.coefficients)
+
+    def is_zero(self, tolerance: float = COEFFICIENT_TOLERANCE) -> bool:
+        return all(abs(c) <= tolerance for c in self.coefficients.values())
+
+    def is_constant(self) -> bool:
+        return all(m.is_constant() for m in self.coefficients)
+
+    def constant_term(self) -> float:
+        return self.coefficients.get(Monomial.constant(self.num_variables), 0.0)
+
+    def coefficient(self, monomial: Union[Monomial, Tuple[int, ...]]) -> float:
+        if not isinstance(monomial, Monomial):
+            monomial = Monomial(tuple(monomial))
+        return self.coefficients.get(monomial, 0.0)
+
+    def monomials(self) -> Tuple[Monomial, ...]:
+        return tuple(sorted(self.coefficients, key=Monomial.sort_key))
+
+    def max_abs_coefficient(self) -> float:
+        if not self.coefficients:
+            return 0.0
+        return max(abs(c) for c in self.coefficients.values())
+
+    def __len__(self) -> int:
+        return len(self.coefficients)
+
+    # ------------------------------------------------------------------
+    # Variable management
+    # ------------------------------------------------------------------
+    def with_variables(self, variables: VariableVector) -> "Polynomial":
+        """Re-express this polynomial over a superset variable vector."""
+        if variables == self.variables:
+            return self
+        mapping = []
+        for v in self.variables:
+            if v not in variables:
+                raise ValueError(f"target variable vector does not contain {v}")
+            mapping.append(variables.index(v))
+        n_new = len(variables)
+        new_coeffs: Dict[Monomial, float] = {}
+        for mono, coeff in self.coefficients.items():
+            exps = [0] * n_new
+            for old_idx, exp in enumerate(mono.exponents):
+                exps[mapping[old_idx]] = exp
+            new_coeffs[Monomial(tuple(exps))] = new_coeffs.get(Monomial(tuple(exps)), 0.0) + coeff
+        return Polynomial(variables, new_coeffs)
+
+    def _coerce(self, other: object) -> Optional["Polynomial"]:
+        if isinstance(other, Polynomial):
+            if other.variables == self.variables:
+                return other
+            merged = self.variables.union(other.variables)
+            if merged == self.variables:
+                return other.with_variables(self.variables)
+            return other.with_variables(merged)
+        if isinstance(other, Variable):
+            if other in self.variables:
+                return Polynomial.from_variable(other, self.variables)
+            merged = self.variables.union(VariableVector([other]))
+            return Polynomial.from_variable(other, merged)
+        if _is_number(other):
+            return Polynomial.constant(self.variables, other)
+        return None
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: object) -> "Polynomial":
+        other_poly = self._coerce(other)
+        if other_poly is None:
+            return NotImplemented
+        left = self if other_poly.variables == self.variables else self.with_variables(other_poly.variables)
+        coeffs = dict(left.coefficients)
+        for mono, coeff in other_poly.coefficients.items():
+            coeffs[mono] = coeffs.get(mono, 0.0) + coeff
+        return Polynomial(left.variables, coeffs)
+
+    def __radd__(self, other: object) -> "Polynomial":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(self.variables, {m: -c for m, c in self.coefficients.items()})
+
+    def __sub__(self, other: object) -> "Polynomial":
+        other_poly = self._coerce(other)
+        if other_poly is None:
+            return NotImplemented
+        return self.__add__(-other_poly)
+
+    def __rsub__(self, other: object) -> "Polynomial":
+        return (-self).__add__(other)
+
+    def __mul__(self, other: object) -> "Polynomial":
+        if _is_number(other):
+            return Polynomial(
+                self.variables, {m: c * float(other) for m, c in self.coefficients.items()}
+            )
+        other_poly = self._coerce(other)
+        if other_poly is None:
+            return NotImplemented
+        left = self if other_poly.variables == self.variables else self.with_variables(other_poly.variables)
+        coeffs: Dict[Monomial, float] = {}
+        for m1, c1 in left.coefficients.items():
+            for m2, c2 in other_poly.coefficients.items():
+                prod = m1 * m2
+                coeffs[prod] = coeffs.get(prod, 0.0) + c1 * c2
+        return Polynomial(left.variables, coeffs)
+
+    def __rmul__(self, other: object) -> "Polynomial":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: object) -> "Polynomial":
+        if _is_number(other):
+            if other == 0:
+                raise ZeroDivisionError("division of polynomial by zero")
+            return self * (1.0 / float(other))
+        return NotImplemented
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if not isinstance(exponent, (int, np.integer)) or exponent < 0:
+            raise ValueError("polynomial powers must be non-negative integers")
+        result = Polynomial.constant(self.variables, 1.0)
+        base = self
+        e = int(exponent)
+        while e > 0:
+            if e & 1:
+                result = result * base
+            base = base * base
+            e >>= 1
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        other_poly = self._coerce(other)
+        if other_poly is None:
+            return NotImplemented
+        return (self - other_poly).is_zero()
+
+    def __hash__(self) -> int:
+        items = tuple(sorted(((m.exponents, round(c, 12)) for m, c in self.coefficients.items())))
+        return hash((self.variables, items))
+
+    def almost_equal(self, other: "Polynomial", tolerance: float = 1e-9) -> bool:
+        diff = self - other
+        return diff.max_abs_coefficient() <= tolerance
+
+    # ------------------------------------------------------------------
+    # Calculus
+    # ------------------------------------------------------------------
+    def differentiate(self, variable: Union[Variable, int]) -> "Polynomial":
+        index = variable if isinstance(variable, int) else self.variables.index(variable)
+        coeffs: Dict[Monomial, float] = {}
+        for mono, coeff in self.coefficients.items():
+            factor, dmono = mono.differentiate(index)
+            if factor:
+                coeffs[dmono] = coeffs.get(dmono, 0.0) + coeff * factor
+        return Polynomial(self.variables, coeffs)
+
+    def gradient(self) -> Tuple["Polynomial", ...]:
+        return tuple(self.differentiate(i) for i in range(self.num_variables))
+
+    def hessian(self) -> Tuple[Tuple["Polynomial", ...], ...]:
+        grad = self.gradient()
+        return tuple(tuple(g.differentiate(j) for j in range(self.num_variables)) for g in grad)
+
+    def lie_derivative(self, vector_field: Sequence["Polynomial"]) -> "Polynomial":
+        """``∇p · f`` along a polynomial vector field ``f``."""
+        if len(vector_field) != self.num_variables:
+            raise ValueError(
+                f"vector field has {len(vector_field)} components, expected {self.num_variables}"
+            )
+        result = Polynomial.zero(self.variables)
+        for i, component in enumerate(vector_field):
+            partial = self.differentiate(i)
+            if partial.is_zero():
+                continue
+            result = result + partial * component
+        return result
+
+    # ------------------------------------------------------------------
+    # Evaluation and substitution
+    # ------------------------------------------------------------------
+    def __call__(self, *args, **kwargs) -> float:
+        if kwargs and not args:
+            point = [kwargs[v.name] for v in self.variables]
+            return self.evaluate(point)
+        if len(args) == 1 and isinstance(args[0], (list, tuple, np.ndarray)):
+            return self.evaluate(args[0])
+        return self.evaluate(args)
+
+    def evaluate(self, point: Sequence[float]) -> float:
+        point = [float(p) for p in point]
+        if len(point) != self.num_variables:
+            raise ValueError(
+                f"point has {len(point)} coordinates, polynomial expects {self.num_variables}"
+            )
+        total = 0.0
+        for mono, coeff in self.coefficients.items():
+            total += coeff * mono.evaluate(point)
+        return total
+
+    def evaluate_many(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        result = np.zeros(points.shape[0])
+        for mono, coeff in self.coefficients.items():
+            result += coeff * mono.evaluate_many(points)
+        return result
+
+    def substitute(self, substitutions: Mapping[Variable, Union[Number, "Polynomial"]]) -> "Polynomial":
+        """Substitute variables by numbers or polynomials (composition)."""
+        # Express every substitution target over a common variable vector.
+        remaining = [v for v in self.variables if v not in substitutions]
+        target_vars = VariableVector(remaining) if remaining else None
+        poly_subs: Dict[int, Polynomial] = {}
+        for var, value in substitutions.items():
+            if var not in self.variables:
+                continue
+            idx = self.variables.index(var)
+            if _is_number(value):
+                sub_poly = None
+                poly_subs[idx] = ("const", float(value))  # type: ignore[assignment]
+            else:
+                poly_subs[idx] = ("poly", value)  # type: ignore[assignment]
+
+        # Determine the output variable vector: all remaining original vars plus
+        # any variables introduced by polynomial substitutions.
+        out_vars = VariableVector(remaining) if remaining else VariableVector([])
+        for idx, entry in poly_subs.items():
+            kind, value = entry  # type: ignore[misc]
+            if kind == "poly":
+                out_vars = out_vars.union(value.variables)
+        if len(out_vars) == 0:
+            # Fully numeric substitution: keep one dummy variable-free polynomial by
+            # evaluating directly.
+            point = []
+            for i, v in enumerate(self.variables):
+                entry = poly_subs.get(i)
+                if entry is None or entry[0] != "const":
+                    raise ValueError("substitution does not cover all variables with numbers")
+                point.append(entry[1])
+            # Represent the result as a constant polynomial over a fresh variable-less vector.
+            out_vars = VariableVector([])
+            return Polynomial(out_vars, {Monomial(()): self.evaluate(point)})
+
+        result = Polynomial.zero(out_vars)
+        # Pre-build per-variable replacement polynomials over out_vars.
+        replacements: Dict[int, Polynomial] = {}
+        for i, v in enumerate(self.variables):
+            entry = poly_subs.get(i)
+            if entry is None:
+                replacements[i] = Polynomial.from_variable(v, out_vars)
+            elif entry[0] == "const":
+                replacements[i] = Polynomial.constant(out_vars, entry[1])
+            else:
+                replacements[i] = entry[1].with_variables(out_vars)
+
+        for mono, coeff in self.coefficients.items():
+            term = Polynomial.constant(out_vars, coeff)
+            for i, exp in enumerate(mono.exponents):
+                if exp:
+                    term = term * (replacements[i] ** exp)
+            result = result + term
+        return result
+
+    def compose(self, mapping: Sequence["Polynomial"]) -> "Polynomial":
+        """Compose ``p(g_1(x), ..., g_n(x))`` where ``mapping[i]`` replaces variable i."""
+        if len(mapping) != self.num_variables:
+            raise ValueError("composition mapping must provide one polynomial per variable")
+        return self.substitute(dict(zip(self.variables, mapping)))
+
+    def shift(self, offset: Sequence[float]) -> "Polynomial":
+        """Return ``p(x + offset)`` as a polynomial in ``x``."""
+        if len(offset) != self.num_variables:
+            raise ValueError("offset dimension mismatch")
+        mapping = [
+            Polynomial.from_variable(v, self.variables) + float(offset[i])
+            for i, v in enumerate(self.variables)
+        ]
+        return self.compose(mapping)
+
+    def scale_variables(self, scales: Sequence[float]) -> "Polynomial":
+        """Return ``p(S x)`` where ``S = diag(scales)``."""
+        if len(scales) != self.num_variables:
+            raise ValueError("scale dimension mismatch")
+        mapping = [
+            Polynomial.from_variable(v, self.variables) * float(scales[i])
+            for i, v in enumerate(self.variables)
+        ]
+        return self.compose(mapping)
+
+    # ------------------------------------------------------------------
+    # Vector form (for solvers)
+    # ------------------------------------------------------------------
+    def coefficient_vector(self, basis: Sequence[Monomial]) -> np.ndarray:
+        """Coefficients against an explicit monomial basis.
+
+        Raises if the polynomial has support outside the basis.
+        """
+        index = {m: i for i, m in enumerate(basis)}
+        vec = np.zeros(len(basis))
+        for mono, coeff in self.coefficients.items():
+            if mono not in index:
+                raise ValueError(f"monomial {mono} not contained in the provided basis")
+            vec[index[mono]] = coeff
+        return vec
+
+    def truncate(self, tolerance: float) -> "Polynomial":
+        """Drop coefficients with magnitude below ``tolerance``."""
+        return Polynomial(
+            self.variables,
+            {m: c for m, c in self.coefficients.items() if abs(c) > tolerance},
+        )
+
+    def round_coefficients(self, decimals: int = 12) -> "Polynomial":
+        return Polynomial(
+            self.variables, {m: round(c, decimals) for m, c in self.coefficients.items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Quadratic-form helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_quadratic_form(cls, variables: VariableVector, matrix: np.ndarray) -> "Polynomial":
+        """Build ``x^T M x`` (matrix is symmetrised)."""
+        matrix = np.asarray(matrix, dtype=float)
+        n = len(variables)
+        if matrix.shape != (n, n):
+            raise ValueError(f"matrix shape {matrix.shape} does not match {n} variables")
+        matrix = 0.5 * (matrix + matrix.T)
+        coeffs: Dict[Monomial, float] = {}
+        for i in range(n):
+            for j in range(n):
+                exps = [0] * n
+                exps[i] += 1
+                exps[j] += 1
+                mono = Monomial(tuple(exps))
+                coeffs[mono] = coeffs.get(mono, 0.0) + matrix[i, j]
+        return cls(variables, coeffs)
+
+    @classmethod
+    def from_affine(cls, variables: VariableVector, linear: Sequence[float],
+                    constant: Number = 0.0) -> "Polynomial":
+        """Build ``linear · x + constant``."""
+        n = len(variables)
+        if len(linear) != n:
+            raise ValueError("linear coefficient dimension mismatch")
+        coeffs: Dict[Monomial, float] = {Monomial.constant(n): float(constant)}
+        for i, c in enumerate(linear):
+            coeffs[Monomial.unit(i, n)] = float(c)
+        return cls(variables, coeffs)
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"Polynomial({self.to_string()})"
+
+    def to_string(self, precision: int = 6) -> str:
+        if not self.coefficients:
+            return "0"
+        parts = []
+        for mono in self.monomials():
+            coeff = self.coefficients[mono]
+            mono_str = mono.to_string(self.variables)
+            if mono.is_constant():
+                term = f"{coeff:.{precision}g}"
+            elif math.isclose(coeff, 1.0):
+                term = mono_str
+            elif math.isclose(coeff, -1.0):
+                term = f"-{mono_str}"
+            else:
+                term = f"{coeff:.{precision}g}*{mono_str}"
+            parts.append(term)
+        text = " + ".join(parts)
+        return text.replace("+ -", "- ")
+
+
+def polynomial_vector(variables: VariableVector,
+                      rows: Iterable[Iterable[float]],
+                      constants: Optional[Iterable[float]] = None) -> Tuple[Polynomial, ...]:
+    """Build an affine polynomial vector field ``A x + b`` row by row."""
+    rows = [list(row) for row in rows]
+    consts = list(constants) if constants is not None else [0.0] * len(rows)
+    if len(consts) != len(rows):
+        raise ValueError("constants length must match number of rows")
+    return tuple(
+        Polynomial.from_affine(variables, row, const) for row, const in zip(rows, consts)
+    )

@@ -1,0 +1,57 @@
+"""Conic semidefinite programming substrate (pure numpy/scipy).
+
+Standard form: ``minimize c^T x  s.t.  A x = b,  x in K`` with
+``K = R^free x R_+^nonneg x PSD blocks`` (svec coordinates).
+"""
+
+from .cones import (
+    ConeDims,
+    cone_violation,
+    project_onto_cone,
+    project_psd_svec,
+    smat,
+    svec,
+    svec_dim,
+    svec_indices,
+)
+from .problem import ConicProblem, ConicProblemBuilder, VariableBlock
+from .result import SolveHistory, SolverResult, SolverStatus
+from .scaling import ScalingData, drop_zero_rows, equilibrate
+from .admm import ADMMConicSolver, ADMMSettings
+from .projection import AlternatingProjectionSolver, ProjectionSettings
+from .solver import (
+    DEFAULT_BACKEND,
+    available_backends,
+    make_solver,
+    register_backend,
+    solve_conic_problem,
+)
+
+__all__ = [
+    "ConeDims",
+    "svec",
+    "smat",
+    "svec_dim",
+    "svec_indices",
+    "project_onto_cone",
+    "project_psd_svec",
+    "cone_violation",
+    "ConicProblem",
+    "ConicProblemBuilder",
+    "VariableBlock",
+    "SolverResult",
+    "SolverStatus",
+    "SolveHistory",
+    "ScalingData",
+    "equilibrate",
+    "drop_zero_rows",
+    "ADMMConicSolver",
+    "ADMMSettings",
+    "AlternatingProjectionSolver",
+    "ProjectionSettings",
+    "available_backends",
+    "register_backend",
+    "make_solver",
+    "solve_conic_problem",
+    "DEFAULT_BACKEND",
+]

@@ -1,0 +1,148 @@
+"""Cone descriptions and Euclidean projections for the conic SDP solver.
+
+The solver works over the symmetric cone
+
+    K = R^{f}  x  R_+^{l}  x  S_+^{k_1} x ... x S_+^{k_p}
+
+where PSD blocks are stored in scaled-vector (``svec``) form so that the
+Euclidean inner product on vectors equals the Frobenius inner product on
+matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+SQRT2 = float(np.sqrt(2.0))
+
+
+def svec_dim(order: int) -> int:
+    """Length of the svec of a symmetric ``order x order`` matrix."""
+    return order * (order + 1) // 2
+
+
+def svec(matrix: np.ndarray) -> np.ndarray:
+    """Scaled vectorisation of a symmetric matrix (upper triangle, off-diag * sqrt 2)."""
+    matrix = np.asarray(matrix, dtype=float)
+    order = matrix.shape[0]
+    if matrix.shape != (order, order):
+        raise ValueError("svec expects a square matrix")
+    out = np.empty(svec_dim(order))
+    idx = 0
+    for i in range(order):
+        out[idx] = matrix[i, i]
+        idx += 1
+        for j in range(i + 1, order):
+            out[idx] = SQRT2 * 0.5 * (matrix[i, j] + matrix[j, i])
+            idx += 1
+    return out
+
+
+def smat(vector: np.ndarray, order: int) -> np.ndarray:
+    """Inverse of :func:`svec`."""
+    vector = np.asarray(vector, dtype=float)
+    if vector.shape[0] != svec_dim(order):
+        raise ValueError(
+            f"vector of length {vector.shape[0]} is not an svec of order {order}"
+        )
+    matrix = np.zeros((order, order))
+    idx = 0
+    for i in range(order):
+        matrix[i, i] = vector[idx]
+        idx += 1
+        for j in range(i + 1, order):
+            value = vector[idx] / SQRT2
+            matrix[i, j] = value
+            matrix[j, i] = value
+            idx += 1
+    return matrix
+
+
+def svec_indices(order: int) -> List[Tuple[int, int]]:
+    """The (row, col) pair addressed by each svec position."""
+    pairs = []
+    for i in range(order):
+        pairs.append((i, i))
+        for j in range(i + 1, order):
+            pairs.append((i, j))
+    return pairs
+
+
+def svec_entry_coefficient(i: int, j: int) -> float:
+    """Multiplier converting a matrix entry ``M_ij`` into its svec coordinate."""
+    return 1.0 if i == j else SQRT2
+
+
+@dataclass(frozen=True)
+class ConeDims:
+    """Dimensions of the product cone."""
+
+    free: int = 0
+    nonneg: int = 0
+    psd: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.free < 0 or self.nonneg < 0 or any(k <= 0 for k in self.psd):
+            raise ValueError(f"invalid cone dimensions: {self}")
+
+    @property
+    def total(self) -> int:
+        return self.free + self.nonneg + sum(svec_dim(k) for k in self.psd)
+
+    def slices(self) -> Tuple[slice, slice, List[slice]]:
+        """(free slice, nonneg slice, list of PSD svec slices) into the variable vector."""
+        free_slice = slice(0, self.free)
+        nonneg_slice = slice(self.free, self.free + self.nonneg)
+        psd_slices = []
+        offset = self.free + self.nonneg
+        for order in self.psd:
+            length = svec_dim(order)
+            psd_slices.append(slice(offset, offset + length))
+            offset += length
+        return free_slice, nonneg_slice, psd_slices
+
+    def describe(self) -> str:
+        return (f"free={self.free}, nonneg={self.nonneg}, "
+                f"psd blocks={list(self.psd)} (total dim={self.total})")
+
+
+def project_psd_svec(vector: np.ndarray, order: int) -> Tuple[np.ndarray, float]:
+    """Project an svec onto the PSD cone; also return the smallest eigenvalue."""
+    matrix = smat(vector, order)
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    clipped = np.clip(eigenvalues, 0.0, None)
+    projected = (eigenvectors * clipped) @ eigenvectors.T
+    return svec(projected), float(eigenvalues.min()) if eigenvalues.size else 0.0
+
+
+def project_onto_cone(vector: np.ndarray, dims: ConeDims) -> np.ndarray:
+    """Euclidean projection of ``vector`` onto ``K``."""
+    vector = np.asarray(vector, dtype=float)
+    if vector.shape[0] != dims.total:
+        raise ValueError(
+            f"vector length {vector.shape[0]} does not match cone dimension {dims.total}"
+        )
+    out = vector.copy()
+    free_slice, nonneg_slice, psd_slices = dims.slices()
+    out[nonneg_slice] = np.clip(vector[nonneg_slice], 0.0, None)
+    for order, sl in zip(dims.psd, psd_slices):
+        out[sl], _ = project_psd_svec(vector[sl], order)
+    return out
+
+
+def cone_violation(vector: np.ndarray, dims: ConeDims) -> float:
+    """Infinity-norm distance of ``vector`` from ``K`` (0 when inside)."""
+    vector = np.asarray(vector, dtype=float)
+    free_slice, nonneg_slice, psd_slices = dims.slices()
+    violation = 0.0
+    nonneg_part = vector[nonneg_slice]
+    if nonneg_part.size:
+        violation = max(violation, float(np.clip(-nonneg_part, 0.0, None).max(initial=0.0)))
+    for order, sl in zip(dims.psd, psd_slices):
+        matrix = smat(vector[sl], order)
+        min_eig = float(np.linalg.eigvalsh(matrix).min()) if order else 0.0
+        violation = max(violation, max(0.0, -min_eig))
+    return violation

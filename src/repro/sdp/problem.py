@@ -1,0 +1,243 @@
+"""Conic problem container and incremental builder.
+
+Standard form used throughout the library::
+
+    minimize    c^T x
+    subject to  A x = b
+                x in K = R^free  x  R_+^nonneg  x  S_+^{k_1} x ... x S_+^{k_p}
+
+PSD blocks are stored in svec coordinates.  The :class:`ConicProblemBuilder`
+lets the SOS layer allocate variable blocks and add sparse equality rows
+without worrying about offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .cones import ConeDims, cone_violation, svec_dim, svec_entry_coefficient, svec_indices
+
+
+@dataclass
+class ConicProblem:
+    """An immutable conic program in standard form."""
+
+    c: np.ndarray
+    A: sp.csr_matrix
+    b: np.ndarray
+    dims: ConeDims
+
+    def __post_init__(self) -> None:
+        self.c = np.asarray(self.c, dtype=float).ravel()
+        self.b = np.asarray(self.b, dtype=float).ravel()
+        if not sp.issparse(self.A):
+            self.A = sp.csr_matrix(np.atleast_2d(np.asarray(self.A, dtype=float)))
+        else:
+            self.A = self.A.tocsr()
+        if self.c.shape[0] != self.dims.total:
+            raise ValueError(
+                f"cost vector length {self.c.shape[0]} does not match cone dim {self.dims.total}"
+            )
+        if self.A.shape[1] != self.dims.total:
+            raise ValueError(
+                f"A has {self.A.shape[1]} columns, expected {self.dims.total}"
+            )
+        if self.A.shape[0] != self.b.shape[0]:
+            raise ValueError("A and b have inconsistent row counts")
+
+    @property
+    def num_constraints(self) -> int:
+        return self.A.shape[0]
+
+    @property
+    def num_variables(self) -> int:
+        return self.dims.total
+
+    def objective_value(self, x: np.ndarray) -> float:
+        return float(self.c @ x)
+
+    def equality_residual(self, x: np.ndarray) -> float:
+        if self.num_constraints == 0:
+            return 0.0
+        return float(np.abs(self.A @ x - self.b).max())
+
+    def cone_violation(self, x: np.ndarray) -> float:
+        return cone_violation(x, self.dims)
+
+    def describe(self) -> str:
+        return (f"ConicProblem({self.num_constraints} equalities, "
+                f"{self.dims.describe()}, nnz(A)={self.A.nnz})")
+
+
+class VariableBlock:
+    """Handle to a block of variables allocated inside a builder."""
+
+    __slots__ = ("kind", "offset", "size", "order", "name")
+
+    def __init__(self, kind: str, offset: int, size: int, order: int = 0, name: str = ""):
+        self.kind = kind          # "free" | "nonneg" | "psd"
+        self.offset = offset      # filled in at finalisation for non-free blocks
+        self.size = size          # number of scalar entries (svec length for psd)
+        self.order = order        # matrix order for psd blocks
+        self.name = name
+
+    def indices(self) -> range:
+        return range(self.offset, self.offset + self.size)
+
+    def __repr__(self) -> str:
+        return f"VariableBlock({self.kind}, name={self.name!r}, size={self.size})"
+
+
+class ConicProblemBuilder:
+    """Incrementally assemble a :class:`ConicProblem`.
+
+    Blocks are allocated in any order; at :meth:`build` time they are laid out
+    in the canonical order (free, nonneg, psd) and all recorded equality-row
+    entries are mapped to the final column indices.
+    """
+
+    def __init__(self) -> None:
+        self._free_blocks: List[VariableBlock] = []
+        self._nonneg_blocks: List[VariableBlock] = []
+        self._psd_blocks: List[VariableBlock] = []
+        self._rows: List[Dict[Tuple[int, int], float]] = []  # (block_id, local_idx) -> coeff
+        self._rhs: List[float] = []
+        self._cost: Dict[Tuple[int, int], float] = {}
+        self._blocks: List[VariableBlock] = []
+
+    # -- block allocation ---------------------------------------------------
+    def _register(self, block: VariableBlock) -> int:
+        self._blocks.append(block)
+        return len(self._blocks) - 1
+
+    def add_free_block(self, size: int, name: str = "") -> Tuple[int, VariableBlock]:
+        if size <= 0:
+            raise ValueError("free block size must be positive")
+        block = VariableBlock("free", -1, size, name=name)
+        self._free_blocks.append(block)
+        return self._register(block), block
+
+    def add_nonneg_block(self, size: int, name: str = "") -> Tuple[int, VariableBlock]:
+        if size <= 0:
+            raise ValueError("nonneg block size must be positive")
+        block = VariableBlock("nonneg", -1, size, name=name)
+        self._nonneg_blocks.append(block)
+        return self._register(block), block
+
+    def add_psd_block(self, order: int, name: str = "") -> Tuple[int, VariableBlock]:
+        if order <= 0:
+            raise ValueError("PSD block order must be positive")
+        block = VariableBlock("psd", -1, svec_dim(order), order=order, name=name)
+        self._psd_blocks.append(block)
+        return self._register(block), block
+
+    # -- constraints and objective -------------------------------------------
+    def add_equality_row(self, entries: Dict[Tuple[int, int], float], rhs: float) -> int:
+        """Add a row ``sum coeff * x[block, local] = rhs``.
+
+        ``entries`` maps ``(block_id, local_index)`` to a coefficient, where
+        ``local_index`` indexes into the block's svec for PSD blocks.
+        """
+        cleaned = {key: float(val) for key, val in entries.items() if float(val) != 0.0}
+        self._rows.append(cleaned)
+        self._rhs.append(float(rhs))
+        return len(self._rows) - 1
+
+    def add_cost(self, block_id: int, local_index: int, coefficient: float) -> None:
+        key = (block_id, local_index)
+        self._cost[key] = self._cost.get(key, 0.0) + float(coefficient)
+
+    def psd_entry_local_index(self, block_id: int, i: int, j: int) -> Tuple[int, float]:
+        """svec position and scaling of matrix entry (i, j) of a PSD block.
+
+        The returned coefficient converts a *matrix-entry* coefficient into an
+        svec coefficient: to add ``alpha * M_ij`` to a row, add
+        ``alpha * coeff`` at the returned local index (``coeff`` is 1 for
+        diagonal entries and ``1/sqrt(2)`` for off-diagonal entries, because
+        the svec coordinate stores ``sqrt(2) * M_ij``).
+        """
+        block = self._blocks[block_id]
+        if block.kind != "psd":
+            raise ValueError("psd_entry_local_index called on a non-PSD block")
+        if i > j:
+            i, j = j, i
+        order = block.order
+        if not (0 <= i <= j < order):
+            raise IndexError(f"entry ({i}, {j}) out of range for order-{order} block")
+        # svec layout per row r: (r, r), (r, r+1), ..., (r, order-1); row r starts
+        # after sum_{s<r} (order - s) entries.
+        local = i * order - (i * (i - 1)) // 2 + (j - i)
+        coeff = 1.0 if i == j else 1.0 / svec_entry_coefficient(i, j)
+        return local, coeff
+
+    # -- finalisation ---------------------------------------------------------
+    def build(self) -> ConicProblem:
+        offset = 0
+        for block in self._free_blocks:
+            block.offset = offset
+            offset += block.size
+        for block in self._nonneg_blocks:
+            block.offset = offset
+            offset += block.size
+        for block in self._psd_blocks:
+            block.offset = offset
+            offset += block.size
+        total = offset
+        dims = ConeDims(
+            free=sum(b.size for b in self._free_blocks),
+            nonneg=sum(b.size for b in self._nonneg_blocks),
+            psd=tuple(b.order for b in self._psd_blocks),
+        )
+        if dims.total != total:
+            raise RuntimeError("internal error: block layout mismatch")
+
+        data: List[float] = []
+        row_idx: List[int] = []
+        col_idx: List[int] = []
+        for r, row in enumerate(self._rows):
+            for (block_id, local), coeff in row.items():
+                block = self._blocks[block_id]
+                if local < 0 or local >= block.size:
+                    raise IndexError(
+                        f"local index {local} out of range for block {block!r}"
+                    )
+                data.append(coeff)
+                row_idx.append(r)
+                col_idx.append(block.offset + local)
+        A = sp.csr_matrix(
+            (data, (row_idx, col_idx)), shape=(len(self._rows), total)
+        )
+        b = np.array(self._rhs, dtype=float)
+        c = np.zeros(total)
+        for (block_id, local), coeff in self._cost.items():
+            block = self._blocks[block_id]
+            c[block.offset + local] += coeff
+        return ConicProblem(c=c, A=A, b=b, dims=dims)
+
+    # -- solution unpacking ----------------------------------------------------
+    def block_value(self, block_id: int, x: np.ndarray) -> np.ndarray:
+        """Extract a block's value from a stacked solution vector."""
+        block = self._blocks[block_id]
+        if block.offset < 0:
+            raise RuntimeError("build() must be called before extracting block values")
+        return np.asarray(x[block.offset:block.offset + block.size], dtype=float)
+
+    def psd_block_matrix(self, block_id: int, x: np.ndarray) -> np.ndarray:
+        from .cones import smat
+
+        block = self._blocks[block_id]
+        if block.kind != "psd":
+            raise ValueError("psd_block_matrix called on a non-PSD block")
+        return smat(self.block_value(block_id, x), block.order)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def blocks(self) -> Tuple[VariableBlock, ...]:
+        return tuple(self._blocks)

@@ -1,0 +1,89 @@
+"""Problem equilibration for the conic solver.
+
+Badly scaled coefficient matrices (which SOS coefficient matching produces
+readily when the underlying dynamics are not normalised) slow the ADMM
+solver down dramatically.  We apply row equilibration to the equality
+constraints — this never changes the feasible set or the cone — plus a scalar
+normalisation of the cost vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .problem import ConicProblem
+
+
+@dataclass
+class ScalingData:
+    """Diagonal row scaling ``D`` and cost scale ``sigma`` applied to a problem."""
+
+    row_scale: np.ndarray
+    cost_scale: float
+
+    def unscale_objective(self, value: float) -> float:
+        return value * self.cost_scale
+
+
+def equilibrate(problem: ConicProblem, min_scale: float = 1e-6,
+                max_scale: float = 1e6) -> Tuple[ConicProblem, ScalingData]:
+    """Row-equilibrate ``A x = b`` and normalise the cost vector.
+
+    Each equality row is divided by the infinity norm of its coefficients
+    (clipped to ``[min_scale, max_scale]``) so all rows have comparable
+    magnitude.  The cost vector is divided by its own infinity norm; the
+    original objective value is recovered through :class:`ScalingData`.
+    """
+    A = problem.A.tocsr(copy=True)
+    b = problem.b.copy()
+    m = A.shape[0]
+    row_scale = np.ones(m)
+    if m > 0 and A.nnz > 0:
+        abs_A = abs(A)
+        row_norms = np.asarray(abs_A.max(axis=1).todense()).ravel()
+        row_norms[row_norms == 0.0] = 1.0
+        row_scale = 1.0 / np.clip(row_norms, min_scale, max_scale)
+        D = sp.diags(row_scale)
+        A = D @ A
+        b = row_scale * b
+
+    c = problem.c.copy()
+    cost_norm = float(np.abs(c).max()) if c.size else 0.0
+    if cost_norm > 0.0:
+        cost_scale = cost_norm
+        c = c / cost_norm
+    else:
+        cost_scale = 1.0
+
+    scaled = ConicProblem(c=c, A=A, b=b, dims=problem.dims)
+    return scaled, ScalingData(row_scale=row_scale, cost_scale=cost_scale)
+
+
+def drop_zero_rows(problem: ConicProblem, tolerance: float = 0.0) -> ConicProblem:
+    """Remove equality rows with all-zero coefficients.
+
+    A zero row with nonzero right-hand side makes the problem trivially
+    infeasible; that is reported by raising ``ValueError`` so the SOS layer can
+    surface a meaningful error (it means a monomial appears with a fixed
+    nonzero coefficient but no decision variable can produce it).
+    """
+    A = problem.A.tocsr()
+    if A.shape[0] == 0:
+        return problem
+    abs_A = abs(A)
+    row_norms = np.asarray(abs_A.max(axis=1).todense()).ravel()
+    zero_rows = np.where(row_norms <= tolerance)[0]
+    if zero_rows.size == 0:
+        return problem
+    bad = [int(r) for r in zero_rows if abs(problem.b[r]) > 1e-12]
+    if bad:
+        raise ValueError(
+            f"equality rows {bad} have zero coefficients but nonzero right-hand side; "
+            "the polynomial identity cannot be satisfied"
+        )
+    keep = np.setdiff1d(np.arange(A.shape[0]), zero_rows)
+    return ConicProblem(c=problem.c, A=A[keep], b=problem.b[keep], dims=problem.dims)

@@ -1,0 +1,65 @@
+"""Backend registry and the single entry point :func:`solve_conic_problem`.
+
+The SOS layer never talks to a specific solver class; it requests a backend
+by name (``"admm"`` by default) so that experiments can swap or ablate the
+numerical engine without touching the verification code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from .admm import ADMMConicSolver, ADMMSettings
+from .problem import ConicProblem
+from .projection import AlternatingProjectionSolver, ProjectionSettings
+from .result import SolverResult
+
+SolverFactory = Callable[[], object]
+
+_BACKENDS: Dict[str, SolverFactory] = {
+    "admm": ADMMConicSolver,
+    "projection": AlternatingProjectionSolver,
+}
+
+DEFAULT_BACKEND = "admm"
+
+
+def available_backends() -> tuple:
+    return tuple(sorted(_BACKENDS))
+
+
+def register_backend(name: str, factory: SolverFactory, overwrite: bool = False) -> None:
+    """Register a custom solver backend (must expose ``solve(problem) -> SolverResult``)."""
+    if name in _BACKENDS and not overwrite:
+        raise ValueError(f"backend {name!r} already registered")
+    _BACKENDS[name] = factory
+
+
+def make_solver(backend: Union[str, object, None] = None, **settings):
+    """Instantiate a solver backend.
+
+    ``backend`` may be a name, an already-constructed solver object (returned
+    unchanged) or ``None`` for the default.  Keyword settings are forwarded to
+    the backend's settings dataclass.
+    """
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if not isinstance(backend, str):
+        return backend
+    if backend not in _BACKENDS:
+        raise KeyError(f"unknown solver backend {backend!r}; available: {available_backends()}")
+    if backend == "admm":
+        return ADMMConicSolver(ADMMSettings(**settings)) if settings else ADMMConicSolver()
+    if backend == "projection":
+        return AlternatingProjectionSolver(ProjectionSettings(**settings)) \
+            if settings else AlternatingProjectionSolver()
+    factory = _BACKENDS[backend]
+    return factory(**settings) if settings else factory()
+
+
+def solve_conic_problem(problem: ConicProblem,
+                        backend: Union[str, object, None] = None,
+                        **settings) -> SolverResult:
+    """Solve a conic problem with the requested backend."""
+    solver = make_solver(backend, **settings)
+    return solver.solve(problem)

@@ -1,0 +1,49 @@
+"""Sum-of-Squares programming layer (the role of YALMIP's SOS module in the paper)."""
+
+from .program import (
+    EqualityConstraint,
+    ScalarConstraint,
+    SOSCertificate,
+    SOSConstraint,
+    SOSProgram,
+    SOSProgramError,
+    SOSSolution,
+)
+from .sprocedure import (
+    SemialgebraicSet,
+    SProcedureCertificate,
+    add_nonnegativity_on_set,
+    add_positivity_on_set,
+    ball_constraint,
+    interval_constraints,
+)
+from .validation import (
+    ValidationReport,
+    minimum_on_level_set,
+    sample_box,
+    sample_set,
+    validate_decrease_along_field,
+    validate_nonnegativity,
+)
+
+__all__ = [
+    "SOSProgram",
+    "SOSProgramError",
+    "SOSSolution",
+    "SOSConstraint",
+    "SOSCertificate",
+    "EqualityConstraint",
+    "ScalarConstraint",
+    "SemialgebraicSet",
+    "SProcedureCertificate",
+    "add_positivity_on_set",
+    "add_nonnegativity_on_set",
+    "interval_constraints",
+    "ball_constraint",
+    "ValidationReport",
+    "validate_nonnegativity",
+    "validate_decrease_along_field",
+    "minimum_on_level_set",
+    "sample_box",
+    "sample_set",
+]

@@ -1,0 +1,442 @@
+"""Sum-of-Squares programming layer.
+
+An :class:`SOSProgram` collects
+
+* scalar decision variables,
+* polynomial decision variables (templates with unknown coefficients),
+* SOS constraints ``p(x; d) ∈ Σ[x]``,
+* polynomial equality constraints ``p(x; d) ≡ 0``,
+* scalar affine inequality / equality constraints, and
+* an optional linear objective,
+
+and compiles them into a single conic SDP via Gram-matrix parameterisation
+and coefficient matching.  This is the role YALMIP's ``solvesos`` plays in the
+paper; here it is a self-contained pure-Python implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..polynomial import (
+    DecisionVariable,
+    LinExpr,
+    Monomial,
+    ParametricPolynomial,
+    Polynomial,
+    VariableVector,
+    gram_basis_for_degree,
+    monomial_basis,
+)
+from ..sdp import (
+    ConicProblemBuilder,
+    SolverResult,
+    SolverStatus,
+    smat,
+    solve_conic_problem,
+)
+
+PolyExpr = Union[ParametricPolynomial, Polynomial]
+ScalarExpr = Union[LinExpr, DecisionVariable, float, int]
+
+
+class SOSProgramError(RuntimeError):
+    """Raised when an SOS program is malformed or cannot be compiled."""
+
+
+@dataclass
+class SOSConstraint:
+    """An SOS membership constraint ``expr ∈ Σ[x]`` recorded in a program."""
+
+    name: str
+    expression: ParametricPolynomial
+    basis: Tuple[Monomial, ...]
+
+    @property
+    def gram_order(self) -> int:
+        return len(self.basis)
+
+
+@dataclass
+class EqualityConstraint:
+    """A polynomial identity ``expr ≡ 0`` (coefficient-wise equality)."""
+
+    name: str
+    expression: ParametricPolynomial
+
+
+@dataclass
+class ScalarConstraint:
+    """A scalar affine constraint ``expr {>=, ==} 0``."""
+
+    name: str
+    expression: LinExpr
+    sense: str  # ">=" or "=="
+
+
+@dataclass
+class SOSCertificate:
+    """Post-solve data attached to one SOS constraint."""
+
+    name: str
+    polynomial: Polynomial
+    gram: np.ndarray
+    basis: Tuple[Monomial, ...]
+    min_eigenvalue: float
+    reconstruction_error: float
+
+    def is_numerically_sos(self, eig_tol: float = -1e-7, res_tol: float = 1e-5) -> bool:
+        return self.min_eigenvalue >= eig_tol and self.reconstruction_error <= res_tol
+
+
+@dataclass
+class SOSSolution:
+    """Result of solving an :class:`SOSProgram`."""
+
+    status: SolverStatus
+    assignment: Dict[DecisionVariable, float]
+    certificates: Dict[str, SOSCertificate]
+    objective: float
+    solver_result: SolverResult
+    compile_time: float
+    solve_time: float
+
+    @property
+    def is_success(self) -> bool:
+        return self.status.is_success
+
+    def value(self, expr: ScalarExpr) -> float:
+        return LinExpr.coerce(expr).evaluate(self.assignment)
+
+    def polynomial(self, expr: PolyExpr) -> Polynomial:
+        if isinstance(expr, Polynomial):
+            return expr
+        return expr.instantiate(self.assignment)
+
+    def max_gram_violation(self) -> float:
+        """Most negative Gram eigenvalue across all SOS constraints (0 if none)."""
+        if not self.certificates:
+            return 0.0
+        return min(cert.min_eigenvalue for cert in self.certificates.values())
+
+    def max_reconstruction_error(self) -> float:
+        if not self.certificates:
+            return 0.0
+        return max(cert.reconstruction_error for cert in self.certificates.values())
+
+
+class SOSProgram:
+    """A container for SOS constraints compiled to a conic SDP."""
+
+    def __init__(self, name: str = "sos_program"):
+        self.name = name
+        self._decision_variables: Dict[int, DecisionVariable] = {}
+        self._sos_constraints: List[SOSConstraint] = []
+        self._equality_constraints: List[EqualityConstraint] = []
+        self._scalar_constraints: List[ScalarConstraint] = []
+        self._objective: Optional[LinExpr] = None
+        self._objective_sense: str = "min"
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Variable creation
+    # ------------------------------------------------------------------
+    def _fresh_name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def new_variable(self, name: Optional[str] = None) -> DecisionVariable:
+        """A single scalar decision variable."""
+        var = DecisionVariable(name or self._fresh_name("d"))
+        self._decision_variables[var.uid] = var
+        return var
+
+    def new_polynomial_variable(
+        self,
+        variables: VariableVector,
+        degree: int,
+        name: Optional[str] = None,
+        min_degree: int = 0,
+        even_only: bool = False,
+    ) -> ParametricPolynomial:
+        """A polynomial template with one free coefficient per monomial."""
+        name = name or self._fresh_name("p")
+        basis = monomial_basis(len(variables), degree, min_degree)
+        if even_only:
+            basis = tuple(m for m in basis if m.degree % 2 == 0)
+        coeffs = {}
+        for mono in basis:
+            dvar = DecisionVariable(f"{name}[{mono.to_string(variables)}]")
+            self._decision_variables[dvar.uid] = dvar
+            coeffs[mono] = LinExpr.from_variable(dvar)
+        return ParametricPolynomial(variables, coeffs)
+
+    def new_sos_polynomial(
+        self,
+        variables: VariableVector,
+        degree: int,
+        name: Optional[str] = None,
+        min_degree: int = 0,
+    ) -> ParametricPolynomial:
+        """A polynomial template constrained to be SOS.
+
+        ``min_degree = 2`` drops constant and linear monomials, producing an
+        SOS polynomial that vanishes at the origin (useful for Lyapunov
+        certificates and S-procedure multipliers that must not shift the
+        equilibrium).
+        """
+        name = name or self._fresh_name("sigma")
+        poly = self.new_polynomial_variable(variables, degree, name=name,
+                                            min_degree=min_degree)
+        self.add_sos_constraint(poly, name=f"{name}_sos")
+        return poly
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+    def _register_expression_variables(self, expr: ParametricPolynomial) -> None:
+        for dvar in expr.decision_variables():
+            self._decision_variables.setdefault(dvar.uid, dvar)
+
+    def add_sos_constraint(self, expression: PolyExpr,
+                           name: Optional[str] = None) -> SOSConstraint:
+        """Require ``expression`` to be a sum of squares."""
+        expr = ParametricPolynomial.coerce(expression)
+        name = name or self._fresh_name("sos")
+        degree = expr.degree
+        # Odd-degree expressions are allowed: the Gram basis is rounded up and the
+        # coefficient-matching equalities force the top odd-degree coefficients into
+        # a consistent (possibly zero) configuration.  A *numeric* odd-degree
+        # polynomial can never be SOS, so reject that case outright.
+        if degree % 2 == 1 and expr.is_numeric():
+            raise SOSProgramError(
+                f"SOS constraint {name!r} is a fixed polynomial of odd degree {degree}; "
+                "an odd-degree polynomial can never be a sum of squares"
+            )
+        basis = gram_basis_for_degree(len(expr.variables), degree)
+        constraint = SOSConstraint(name=name, expression=expr, basis=basis)
+        self._register_expression_variables(expr)
+        self._sos_constraints.append(constraint)
+        return constraint
+
+    def add_equality_constraint(self, expression: PolyExpr,
+                                name: Optional[str] = None) -> EqualityConstraint:
+        """Require ``expression ≡ 0`` as a polynomial identity."""
+        expr = ParametricPolynomial.coerce(expression)
+        name = name or self._fresh_name("eq")
+        constraint = EqualityConstraint(name=name, expression=expr)
+        self._register_expression_variables(expr)
+        self._equality_constraints.append(constraint)
+        return constraint
+
+    def add_scalar_constraint(self, expression: ScalarExpr, sense: str = ">=",
+                              name: Optional[str] = None) -> ScalarConstraint:
+        """Scalar affine constraint ``expression >= 0`` or ``expression == 0``."""
+        if sense not in (">=", "=="):
+            raise SOSProgramError(f"unsupported scalar constraint sense {sense!r}")
+        expr = LinExpr.coerce(expression)
+        name = name or self._fresh_name("lin")
+        constraint = ScalarConstraint(name=name, expression=expr, sense=sense)
+        for dvar in expr.coeffs:
+            self._decision_variables.setdefault(dvar.uid, dvar)
+        self._scalar_constraints.append(constraint)
+        return constraint
+
+    # ------------------------------------------------------------------
+    # Objective
+    # ------------------------------------------------------------------
+    def minimize(self, objective: ScalarExpr) -> None:
+        self._objective = LinExpr.coerce(objective)
+        self._objective_sense = "min"
+        for dvar in self._objective.coeffs:
+            self._decision_variables.setdefault(dvar.uid, dvar)
+
+    def maximize(self, objective: ScalarExpr) -> None:
+        self._objective = LinExpr.coerce(objective)
+        self._objective_sense = "max"
+        for dvar in self._objective.coeffs:
+            self._decision_variables.setdefault(dvar.uid, dvar)
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _decision_order(self) -> List[DecisionVariable]:
+        return [self._decision_variables[uid] for uid in sorted(self._decision_variables)]
+
+    def compile(self) -> Tuple[ConicProblemBuilder, Dict[DecisionVariable, Tuple[int, int]],
+                               List[Tuple[SOSConstraint, int]]]:
+        """Build the conic problem.
+
+        Returns the builder, a map from decision variable to (block id, local
+        index), and the list of (SOS constraint, PSD block id) pairs.
+        """
+        builder = ConicProblemBuilder()
+        decision_order = self._decision_order()
+        var_location: Dict[DecisionVariable, Tuple[int, int]] = {}
+        if decision_order:
+            free_id, _ = builder.add_free_block(len(decision_order), name="decision")
+            for local, dvar in enumerate(decision_order):
+                var_location[dvar] = (free_id, local)
+
+        sos_blocks: List[Tuple[SOSConstraint, int]] = []
+        for constraint in self._sos_constraints:
+            block_id, _ = builder.add_psd_block(constraint.gram_order, name=constraint.name)
+            sos_blocks.append((constraint, block_id))
+
+        # Coefficient matching for SOS constraints:
+        #   sum_{(i,j): z_i z_j = m} Q_ij  ==  c_m(d)      for every monomial m.
+        for constraint, block_id in sos_blocks:
+            basis = constraint.basis
+            expr = constraint.expression
+            support: Dict[Monomial, Dict[Tuple[int, int], float]] = {}
+            for i in range(len(basis)):
+                for j in range(i, len(basis)):
+                    prod = basis[i] * basis[j]
+                    local, coeff = builder.psd_entry_local_index(block_id, i, j)
+                    # The Gram expansion contributes Q_ij + Q_ji = 2 M_ij for i != j.
+                    weight = 1.0 if i == j else 2.0
+                    entry_map = support.setdefault(prod, {})
+                    key = (block_id, local)
+                    entry_map[key] = entry_map.get(key, 0.0) + weight * coeff
+            all_monomials = set(support) | set(expr.coefficients)
+            for mono in sorted(all_monomials, key=Monomial.sort_key):
+                entries: Dict[Tuple[int, int], float] = dict(support.get(mono, {}))
+                coeff_expr = expr.coefficient(mono)
+                rhs = coeff_expr.constant
+                for dvar, a in coeff_expr.coeffs.items():
+                    loc = var_location[dvar]
+                    entries[loc] = entries.get(loc, 0.0) - a
+                if not entries:
+                    if abs(rhs) > 1e-12:
+                        raise SOSProgramError(
+                            f"SOS constraint {constraint.name!r}: monomial "
+                            f"{mono.to_string(expr.variables)} has fixed coefficient {rhs} "
+                            "but cannot be produced by the Gram basis"
+                        )
+                    continue
+                builder.add_equality_row(entries, rhs)
+
+        # Polynomial equality constraints: every coefficient must vanish.
+        for constraint in self._equality_constraints:
+            expr = constraint.expression
+            for mono, coeff_expr in expr.coefficients.items():
+                entries = {}
+                for dvar, a in coeff_expr.coeffs.items():
+                    loc = var_location[dvar]
+                    entries[loc] = entries.get(loc, 0.0) + a
+                rhs = -coeff_expr.constant
+                if not entries:
+                    if abs(rhs) > 1e-12:
+                        raise SOSProgramError(
+                            f"equality constraint {constraint.name!r} forces "
+                            f"{-rhs} == 0 for monomial {mono.to_string(expr.variables)}"
+                        )
+                    continue
+                builder.add_equality_row(entries, rhs)
+
+        # Scalar constraints.
+        slack_counter = 0
+        for constraint in self._scalar_constraints:
+            expr = constraint.expression
+            entries = {}
+            for dvar, a in expr.coeffs.items():
+                loc = var_location[dvar]
+                entries[loc] = entries.get(loc, 0.0) + a
+            rhs = -expr.constant
+            if constraint.sense == "==":
+                if not entries:
+                    if abs(rhs) > 1e-12:
+                        raise SOSProgramError(
+                            f"scalar equality {constraint.name!r} is trivially false")
+                    continue
+                builder.add_equality_row(entries, rhs)
+            else:  # expr >= 0  <=>  expr - s = 0, s >= 0
+                slack_id, _ = builder.add_nonneg_block(1, name=f"slack_{slack_counter}")
+                slack_counter += 1
+                entries[(slack_id, 0)] = -1.0
+                builder.add_equality_row(entries, rhs)
+
+        # Objective.
+        if self._objective is not None:
+            sign = 1.0 if self._objective_sense == "min" else -1.0
+            for dvar, a in self._objective.coeffs.items():
+                block_id, local = var_location[dvar]
+                builder.add_cost(block_id, local, sign * a)
+
+        return builder, var_location, sos_blocks
+
+    # ------------------------------------------------------------------
+    # Solve
+    # ------------------------------------------------------------------
+    def solve(self, backend: Union[str, object, None] = None,
+              **solver_settings) -> SOSSolution:
+        compile_start = time.perf_counter()
+        builder, var_location, sos_blocks = self.compile()
+        problem = builder.build()
+        compile_time = time.perf_counter() - compile_start
+
+        result = solve_conic_problem(problem, backend=backend, **solver_settings)
+
+        assignment: Dict[DecisionVariable, float] = {}
+        certificates: Dict[str, SOSCertificate] = {}
+        objective = float("nan")
+        if result.x is not None:
+            for dvar, (block_id, local) in var_location.items():
+                assignment[dvar] = float(builder.block_value(block_id, result.x)[local])
+            for constraint, block_id in sos_blocks:
+                gram = builder.psd_block_matrix(block_id, result.x)
+                poly = constraint.expression.instantiate(assignment) \
+                    if assignment or constraint.expression.is_numeric() \
+                    else constraint.expression.to_polynomial()
+                from ..polynomial.gram import gram_to_polynomial
+
+                reconstructed = gram_to_polynomial(poly.variables, constraint.basis, gram)
+                eigenvalues = np.linalg.eigvalsh(0.5 * (gram + gram.T)) if gram.size else np.array([0.0])
+                certificates[constraint.name] = SOSCertificate(
+                    name=constraint.name,
+                    polynomial=poly,
+                    gram=gram,
+                    basis=constraint.basis,
+                    min_eigenvalue=float(eigenvalues.min()),
+                    reconstruction_error=(poly - reconstructed).max_abs_coefficient(),
+                )
+            if self._objective is not None and assignment:
+                objective = self._objective.evaluate(assignment)
+
+        return SOSSolution(
+            status=result.status,
+            assignment=assignment,
+            certificates=certificates,
+            objective=objective,
+            solver_result=result,
+            compile_time=compile_time,
+            solve_time=result.solve_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_sos_constraints(self) -> int:
+        return len(self._sos_constraints)
+
+    @property
+    def num_equality_constraints(self) -> int:
+        return len(self._equality_constraints)
+
+    @property
+    def num_decision_variables(self) -> int:
+        return len(self._decision_variables)
+
+    def describe(self) -> str:
+        gram_orders = [c.gram_order for c in self._sos_constraints]
+        return (
+            f"SOSProgram({self.name!r}: {self.num_decision_variables} scalars, "
+            f"{self.num_sos_constraints} SOS constraints (Gram orders {gram_orders}), "
+            f"{self.num_equality_constraints} polynomial equalities, "
+            f"{len(self._scalar_constraints)} scalar constraints)"
+        )

@@ -1,0 +1,173 @@
+"""S-procedure helpers: positivity of polynomials on semi-algebraic sets.
+
+The verification conditions of the paper all have the shape
+
+    p(x; d) >= 0   for all x in  D = {x : g_1(x) >= 0, ..., g_k(x) >= 0,
+                                          h_1(x) = 0, ..., h_l(x) = 0}
+
+which the S-procedure relaxes to the SOS constraint
+
+    p - sum_j sigma_j * g_j - sum_i lambda_i * h_i  ∈ Σ[x],
+    sigma_j ∈ Σ[x],   lambda_i arbitrary polynomials.
+
+These helpers add the multipliers and the final SOS constraint to an
+:class:`~repro.sos.program.SOSProgram` and hand back the multiplier templates
+so callers can inspect them after solving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..polynomial import ParametricPolynomial, Polynomial, VariableVector
+from .program import PolyExpr, SOSProgram
+
+
+@dataclass
+class SemialgebraicSet:
+    """``{x : g_i(x) >= 0 for all i, h_j(x) = 0 for all j}``."""
+
+    variables: VariableVector
+    inequalities: Tuple[Polynomial, ...] = ()
+    equalities: Tuple[Polynomial, ...] = ()
+    name: str = "domain"
+
+    def __post_init__(self) -> None:
+        self.inequalities = tuple(self.inequalities)
+        self.equalities = tuple(self.equalities)
+        for poly in self.inequalities + self.equalities:
+            if not set(poly.variables.names) <= set(self.variables.names):
+                raise ValueError(
+                    f"constraint {poly} uses variables outside {self.variables.names}"
+                )
+
+    def contains(self, point: Sequence[float], tolerance: float = 1e-9) -> bool:
+        """Numeric membership check (used by sampling-based validation)."""
+        full = list(point)
+        for poly in self.inequalities:
+            if poly.with_variables(self.variables).evaluate(full) < -tolerance:
+                return False
+        for poly in self.equalities:
+            if abs(poly.with_variables(self.variables).evaluate(full)) > tolerance:
+                return False
+        return True
+
+    def intersect(self, other: "SemialgebraicSet") -> "SemialgebraicSet":
+        if other.variables != self.variables:
+            raise ValueError("cannot intersect sets over different variable vectors")
+        return SemialgebraicSet(
+            variables=self.variables,
+            inequalities=self.inequalities + other.inequalities,
+            equalities=self.equalities + other.equalities,
+            name=f"{self.name}&{other.name}",
+        )
+
+    def with_box(self, bounds: Sequence[Tuple[float, float]]) -> "SemialgebraicSet":
+        """Add box constraints ``(x_i - lo)(hi - x_i) >= 0`` for every state."""
+        extra: List[Polynomial] = []
+        for i, (lo, hi) in enumerate(bounds):
+            xi = Polynomial.from_variable(self.variables[i], self.variables)
+            extra.append((xi - lo) * (hi - xi))
+        return SemialgebraicSet(
+            variables=self.variables,
+            inequalities=self.inequalities + tuple(extra),
+            equalities=self.equalities,
+            name=self.name,
+        )
+
+    def describe(self) -> str:
+        return (f"SemialgebraicSet({self.name!r}: {len(self.inequalities)} inequalities, "
+                f"{len(self.equalities)} equalities over {list(self.variables.names)})")
+
+
+@dataclass
+class SProcedureCertificate:
+    """Multiplier templates introduced by one S-procedure application."""
+
+    inequality_multipliers: Tuple[ParametricPolynomial, ...]
+    equality_multipliers: Tuple[ParametricPolynomial, ...]
+    constrained_expression: ParametricPolynomial
+    constraint_name: str
+
+
+def add_positivity_on_set(
+    program: SOSProgram,
+    expression: PolyExpr,
+    domain: SemialgebraicSet,
+    multiplier_degree: int = 2,
+    name: Optional[str] = None,
+    strictness: float = 0.0,
+    strictness_degree: int = 2,
+) -> SProcedureCertificate:
+    """Constrain ``expression >= strictness * ||x||^strictness_degree`` on ``domain``.
+
+    ``strictness = 0`` gives plain non-negativity; a positive value enforces a
+    positive-definite margin (used for Lyapunov positivity away from the
+    equilibrium).
+    """
+    expr = ParametricPolynomial.coerce(expression)
+    variables = domain.variables
+    expr = expr.with_variables(variables) if expr.variables != variables else expr
+
+    shifted = expr
+    if strictness > 0.0:
+        margin = Polynomial.zero(variables)
+        for v in variables:
+            margin = margin + Polynomial.from_variable(v, variables) ** strictness_degree
+        shifted = shifted - margin * strictness
+
+    ineq_multipliers: List[ParametricPolynomial] = []
+    for k, g in enumerate(domain.inequalities):
+        sigma = program.new_sos_polynomial(variables, multiplier_degree,
+                                           name=f"{name or 'sproc'}_sig{k}")
+        ineq_multipliers.append(sigma)
+        shifted = shifted - sigma * g.with_variables(variables)
+
+    eq_multipliers: List[ParametricPolynomial] = []
+    for k, h in enumerate(domain.equalities):
+        lam = program.new_polynomial_variable(variables, multiplier_degree,
+                                              name=f"{name or 'sproc'}_lam{k}")
+        eq_multipliers.append(lam)
+        shifted = shifted - lam * h.with_variables(variables)
+
+    constraint_name = name or f"positivity_{program.num_sos_constraints}"
+    program.add_sos_constraint(shifted, name=constraint_name)
+    return SProcedureCertificate(
+        inequality_multipliers=tuple(ineq_multipliers),
+        equality_multipliers=tuple(eq_multipliers),
+        constrained_expression=shifted,
+        constraint_name=constraint_name,
+    )
+
+
+def add_nonnegativity_on_set(program: SOSProgram, expression: PolyExpr,
+                             domain: SemialgebraicSet, multiplier_degree: int = 2,
+                             name: Optional[str] = None) -> SProcedureCertificate:
+    """Alias for :func:`add_positivity_on_set` with zero strictness."""
+    return add_positivity_on_set(program, expression, domain, multiplier_degree,
+                                 name=name, strictness=0.0)
+
+
+def interval_constraints(variables: VariableVector,
+                         bounds: Sequence[Tuple[float, float]],
+                         indices: Optional[Sequence[int]] = None) -> Tuple[Polynomial, ...]:
+    """Box constraints ``(x_i - lo)(hi - x_i) >= 0`` as polynomials."""
+    if indices is None:
+        indices = range(len(bounds))
+    constraints = []
+    for idx, (lo, hi) in zip(indices, bounds):
+        xi = Polynomial.from_variable(variables[idx], variables)
+        constraints.append((xi - lo) * (hi - xi))
+    return tuple(constraints)
+
+
+def ball_constraint(variables: VariableVector, radius: float,
+                    center: Optional[Sequence[float]] = None) -> Polynomial:
+    """``radius^2 - ||x - center||^2 >= 0``."""
+    center = center or [0.0] * len(variables)
+    poly = Polynomial.constant(variables, radius ** 2)
+    for i, v in enumerate(variables):
+        xi = Polynomial.from_variable(v, variables) - float(center[i])
+        poly = poly - xi * xi
+    return poly

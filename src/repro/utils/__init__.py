@@ -1,0 +1,19 @@
+"""Shared utilities: interval arithmetic and logging."""
+
+from .intervals import (
+    Interval,
+    box_center,
+    interval_vertices,
+    sample_box_parameters,
+)
+from .logging import disable_console_logging, enable_console_logging, get_logger
+
+__all__ = [
+    "Interval",
+    "interval_vertices",
+    "box_center",
+    "sample_box_parameters",
+    "get_logger",
+    "enable_console_logging",
+    "disable_console_logging",
+]

@@ -1,0 +1,40 @@
+"""Lightweight library-wide logging helpers.
+
+The library never prints unless asked: modules obtain a logger through
+:func:`get_logger` and callers opt into console output with
+:func:`enable_console_logging` (the benchmark harness does this).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A child logger of the library root (``repro``)."""
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a simple console handler to the library root logger (idempotent)."""
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    has_console = any(isinstance(h, logging.StreamHandler) for h in logger.handlers)
+    if not has_console:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("[%(name)s] %(levelname)s: %(message)s"))
+        logger.addHandler(handler)
+
+
+def disable_console_logging() -> None:
+    logger = logging.getLogger(_ROOT_NAME)
+    for handler in list(logger.handlers):
+        if isinstance(handler, logging.StreamHandler):
+            logger.removeHandler(handler)

@@ -1,0 +1,137 @@
+"""Unit tests for LinExpr, ParametricPolynomial and Gram utilities."""
+
+import numpy as np
+import pytest
+
+from repro.polynomial import (
+    DecisionVariable,
+    LinExpr,
+    Monomial,
+    ParametricPolynomial,
+    Polynomial,
+    VariableVector,
+    extract_sos_decomposition,
+    gram_to_polynomial,
+    make_variables,
+    monomial_basis,
+    project_to_psd,
+    check_sos_numerically,
+)
+
+
+class TestLinExpr:
+    def test_arithmetic(self):
+        a = DecisionVariable("a")
+        b = DecisionVariable("b")
+        expr = 2 * a + b - 3
+        assert expr.coefficient(a) == 2.0
+        assert expr.constant == -3.0
+        assert expr.evaluate({a: 1.0, b: 4.0}) == pytest.approx(3.0)
+
+    def test_unique_ids(self):
+        assert DecisionVariable("d") != DecisionVariable("d")
+
+    def test_product_of_nonconstant_rejected(self):
+        a = DecisionVariable("a")
+        b = DecisionVariable("b")
+        with pytest.raises(ValueError):
+            _ = (a + 1) * (b + 1)
+
+    def test_scalar_product_and_division(self):
+        a = DecisionVariable("a")
+        expr = (a + 1) * 2 / 4
+        assert expr.coefficient(a) == pytest.approx(0.5)
+        assert expr.constant == pytest.approx(0.5)
+
+    def test_missing_assignment_raises(self):
+        a = DecisionVariable("a")
+        with pytest.raises(KeyError):
+            LinExpr.coerce(a).evaluate({})
+
+
+class TestParametricPolynomial:
+    def setup_method(self):
+        x, y = make_variables("x", "y")
+        self.xv = VariableVector([x, y])
+        self.px = Polynomial.from_variable(x, self.xv)
+        self.py = Polynomial.from_variable(y, self.xv)
+
+    def test_from_basis_and_instantiate(self):
+        basis = monomial_basis(2, 1)
+        dvars = [DecisionVariable(f"c{k}") for k in range(len(basis))]
+        template = ParametricPolynomial.from_basis(self.xv, basis, dvars)
+        values = {d: float(k + 1) for k, d in enumerate(dvars)}
+        poly = template.instantiate(values)
+        assert poly.degree == 1
+        assert poly.constant_term() == pytest.approx(1.0)
+
+    def test_multiplication_by_numeric_polynomial(self):
+        d = DecisionVariable("d")
+        template = ParametricPolynomial.coerce(d, self.xv) * self.px
+        poly = template.instantiate({d: 2.0})
+        assert poly.almost_equal(2 * self.px)
+
+    def test_bilinear_product_rejected(self):
+        d1 = DecisionVariable("d1")
+        d2 = DecisionVariable("d2")
+        p1 = ParametricPolynomial.coerce(d1, self.xv) * self.px
+        p2 = ParametricPolynomial.coerce(d2, self.xv) * self.py
+        with pytest.raises(ValueError):
+            _ = p1 * p2
+
+    def test_lie_derivative_is_affine_in_decisions(self):
+        d = DecisionVariable("d")
+        template = ParametricPolynomial.coerce(d, self.xv) * (self.px * self.px)
+        lie = template.lie_derivative([-self.px, -self.py])
+        poly = lie.instantiate({d: 1.0})
+        assert poly.almost_equal(-2 * self.px * self.px)
+
+    def test_decision_variables_listing(self):
+        d1, d2 = DecisionVariable("d1"), DecisionVariable("d2")
+        template = (ParametricPolynomial.coerce(d1, self.xv) * self.px
+                    + ParametricPolynomial.coerce(d2, self.xv) * self.py)
+        assert set(template.decision_variables()) == {d1, d2}
+
+    def test_numeric_conversion(self):
+        template = ParametricPolynomial.from_polynomial(self.px + 1)
+        assert template.is_numeric()
+        assert template.to_polynomial().almost_equal(self.px + 1)
+
+
+class TestGram:
+    def test_gram_roundtrip(self):
+        x, y = make_variables("x", "y")
+        xv = VariableVector([x, y])
+        basis = monomial_basis(2, 1)
+        gram = np.array([[2.0, 0.0, 0.0], [0.0, 1.0, 0.5], [0.0, 0.5, 1.0]])
+        poly = gram_to_polynomial(xv, basis, gram)
+        # p = 2 + x^2 + x*y + y^2
+        assert poly.constant_term() == pytest.approx(2.0)
+        assert poly.coefficient((1, 1)) == pytest.approx(1.0)
+
+    def test_extract_sos_decomposition(self):
+        x, y = make_variables("x", "y")
+        xv = VariableVector([x, y])
+        px = Polynomial.from_variable(x, xv)
+        py = Polynomial.from_variable(y, xv)
+        poly = px * px + 2 * px * py + py * py + 1  # (x+y)^2 + 1
+        basis = monomial_basis(2, 1)
+        gram = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 1.0], [0.0, 1.0, 1.0]])
+        decomposition = extract_sos_decomposition(poly, gram, basis)
+        assert decomposition.is_valid()
+        reconstructed = sum((sq * sq for sq in decomposition.squares),
+                            Polynomial.zero(xv))
+        assert reconstructed.almost_equal(poly, tolerance=1e-8)
+
+    def test_project_to_psd(self):
+        matrix = np.array([[1.0, 2.0], [2.0, 1.0]])
+        projected = project_to_psd(matrix)
+        eigenvalues = np.linalg.eigvalsh(projected)
+        assert eigenvalues.min() >= -1e-12
+
+    def test_check_sos_numerically_detects_negativity(self):
+        x, = make_variables("x")
+        xv = VariableVector([x])
+        px = Polynomial.from_variable(x, xv)
+        assert check_sos_numerically(px * px) >= 0.0
+        assert check_sos_numerically(-px * px - 1) < 0.0

@@ -1,0 +1,182 @@
+"""Unit tests for the hybrid-systems substrate (modes, arcs, simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.hybrid import (
+    ArcSegment,
+    HybridArc,
+    HybridSimulator,
+    HybridSystem,
+    HybridTimeDomain,
+    HybridTimeInterval,
+    Mode,
+    SimulationSettings,
+    Transition,
+    affine_equilibrium,
+    find_equilibrium,
+    linearize_mode,
+)
+from repro.polynomial import Polynomial, VariableVector, make_variables
+from repro.sos import SemialgebraicSet
+from repro.utils import Interval
+
+
+def bouncing_thermostat():
+    """A simple two-mode system: heat (dx = 1) when x <= 1, cool (dx = -1) when x >= -1."""
+    x, = make_variables("x")
+    xv = VariableVector([x])
+    px = Polynomial.from_variable(x, xv)
+    heat = Mode("heat", 1, xv, (Polynomial.constant(xv, 1.0),),
+                SemialgebraicSet(xv, inequalities=(2 - px,)))
+    cool = Mode("cool", 2, xv, (Polynomial.constant(xv, -1.0),),
+                SemialgebraicSet(xv, inequalities=(px + 2,)), contains_equilibrium=True)
+    t_up = Transition("heat", "cool", xv,
+                      SemialgebraicSet(xv, inequalities=(px - 1,)), trigger=px - 1)
+    t_down = Transition("cool", "heat", xv,
+                        SemialgebraicSet(xv, inequalities=(-1 - px,)), trigger=-1 - px)
+    return HybridSystem("thermostat", xv, (heat, cool), (t_up, t_down))
+
+
+def decaying_system():
+    """Single-mode linear decay dx = -x, dy = -2y with equilibrium at the origin."""
+    x, y = make_variables("x", "y")
+    xv = VariableVector([x, y])
+    px = Polynomial.from_variable(x, xv)
+    py = Polynomial.from_variable(y, xv)
+    mode = Mode("decay", 1, xv, (-px, -2 * py),
+                SemialgebraicSet(xv), contains_equilibrium=True)
+    return HybridSystem("decay", xv, (mode,), (), equilibrium=np.zeros(2))
+
+
+class TestMode:
+    def test_flow_map_dimension_checked(self):
+        x, y = make_variables("x", "y")
+        xv = VariableVector([x, y])
+        with pytest.raises(ModelError):
+            Mode("bad", 1, xv, (Polynomial.constant(xv, 1.0),), SemialgebraicSet(xv))
+
+    def test_parameterised_flow_map(self):
+        x, = make_variables("x")
+        u, = make_variables("u")
+        xv = VariableVector([x])
+        uv = VariableVector([u])
+        both = xv.union(uv)
+        flow = (Polynomial.from_variable(u, both) * Polynomial.from_variable(x, both) * -1.0,)
+        mode = Mode("m", 1, xv, flow, SemialgebraicSet(xv), parameter_variables=uv)
+        resolved = mode.flow_map_with_parameters({u: 3.0})
+        assert resolved[0].evaluate([2.0]) == pytest.approx(-6.0)
+        with pytest.raises(ModelError):
+            mode.flow_map_with_parameters({})
+
+    def test_vector_field_function(self):
+        system = decaying_system()
+        mode = system.mode("decay")
+        field = mode.vector_field_function()
+        np.testing.assert_allclose(field(np.array([1.0, 1.0])), [-1.0, -2.0])
+
+
+class TestHybridSystem:
+    def test_lookup_and_validation(self):
+        system = bouncing_thermostat()
+        assert system.mode("heat").index == 1
+        with pytest.raises(KeyError):
+            system.mode("missing")
+        assert len(system.transitions_from("heat")) == 1
+        assert system.equilibrium_modes()[0].name == "cool"
+
+    def test_duplicate_mode_names_rejected(self):
+        system = bouncing_thermostat()
+        with pytest.raises(ModelError):
+            HybridSystem("dup", system.state_variables,
+                         (system.modes[0], system.modes[0]))
+
+    def test_parameter_vertices(self):
+        x, = make_variables("x")
+        u, = make_variables("u")
+        xv = VariableVector([x])
+        uv = VariableVector([u])
+        mode = Mode("m", 1, xv, (Polynomial.from_variable(x, xv) * -1.0,),
+                    SemialgebraicSet(xv), parameter_variables=uv)
+        system = HybridSystem("p", xv, (mode,), (), parameter_variables=uv,
+                              parameter_intervals={u: Interval(1.0, 2.0)})
+        vertices = system.parameter_vertex_assignments()
+        assert len(vertices) == 2
+        assert {v[u] for v in vertices} == {1.0, 2.0}
+        assert len(system.parameter_constraints()) == 1
+
+    def test_is_equilibrium(self):
+        system = decaying_system()
+        assert system.is_equilibrium([0.0, 0.0])
+        assert not system.is_equilibrium([1.0, 0.0])
+
+
+class TestTimeDomain:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            HybridTimeInterval(1.0, 0.5, 0)
+        domain = HybridTimeDomain([HybridTimeInterval(0.0, 1.0, 0)])
+        with pytest.raises(ValueError):
+            domain.append(HybridTimeInterval(1.0, 2.0, 2))  # jump index skips
+        domain.append(HybridTimeInterval(1.0, 2.5, 1))
+        assert domain.num_jumps == 1
+        assert domain.total_flow_time == pytest.approx(2.5)
+
+    def test_arc_queries(self):
+        seg1 = ArcSegment(HybridTimeInterval(0.0, 1.0, 0), "heat",
+                          np.array([0.0, 1.0]), np.array([[0.0], [1.0]]))
+        seg2 = ArcSegment(HybridTimeInterval(1.0, 2.0, 1), "cool",
+                          np.array([1.0, 2.0]), np.array([[1.0], [0.0]]))
+        arc = HybridArc([seg1, seg2])
+        assert arc.num_jumps == 1
+        assert arc.mode_sequence() == ("heat", "cool")
+        np.testing.assert_allclose(arc.final_state, [0.0])
+        assert arc.all_states().shape == (4, 1)
+        assert arc.converged_to([0.0], tolerance=0.5, window=1)
+
+
+class TestSimulation:
+    def test_thermostat_oscillates(self):
+        system = bouncing_thermostat()
+        simulator = HybridSimulator(system, SimulationSettings(max_flow_time=10.0,
+                                                               max_step=0.05))
+        result = simulator.simulate([0.0], initial_mode="heat")
+        assert result.num_jumps >= 2
+        modes = result.arc.mode_sequence()
+        assert "heat" in modes and "cool" in modes
+        # states must remain within the hysteresis band [-1, 1] (plus tolerance)
+        assert np.abs(result.arc.all_states()).max() <= 1.0 + 1e-6
+
+    def test_decay_converges(self):
+        system = decaying_system()
+        simulator = HybridSimulator(system, SimulationSettings(max_flow_time=8.0,
+                                                               terminal_radius=1e-3))
+        result = simulator.simulate([1.0, -1.0])
+        assert result.termination in ("converged", "max_flow_time")
+        assert np.linalg.norm(result.final_state) < 1e-2
+
+    def test_bad_initial_state_rejected(self):
+        system = decaying_system()
+        simulator = HybridSimulator(system)
+        with pytest.raises(ModelError):
+            simulator.simulate([1.0])
+
+
+class TestEquilibrium:
+    def test_linearize_and_equilibrium(self):
+        system = decaying_system()
+        A, b = linearize_mode(system.mode("decay"))
+        np.testing.assert_allclose(A, [[-1.0, 0.0], [0.0, -2.0]])
+        np.testing.assert_allclose(b, [0.0, 0.0])
+        eq = find_equilibrium(system)
+        np.testing.assert_allclose(eq, [0.0, 0.0], atol=1e-9)
+
+    def test_affine_equilibrium_with_offset(self):
+        x, = make_variables("x")
+        xv = VariableVector([x])
+        px = Polynomial.from_variable(x, xv)
+        mode = Mode("m", 1, xv, (2.0 - px,), SemialgebraicSet(xv),
+                    contains_equilibrium=True)
+        eq = affine_equilibrium(mode)
+        np.testing.assert_allclose(eq, [2.0], atol=1e-12)

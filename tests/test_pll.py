@@ -1,0 +1,198 @@
+"""Unit tests for the CP PLL models (parameters, components, hybrid models, behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.pll import (
+    BehavioralPLLSimulator,
+    ChargePump,
+    FrequencyDivider,
+    LoopFilter,
+    MODE_IDLE,
+    MODE_PUMP_DOWN,
+    MODE_PUMP_UP,
+    PhaseFrequencyDetector,
+    PLLParameters,
+    RegionOfInterest,
+    VoltageControlledOscillator,
+    build_fourth_order_model,
+    build_third_order_model,
+    rate_constant_intervals,
+    verification_scaling,
+)
+from repro.utils import Interval
+
+
+class TestParameters:
+    def test_paper_tables(self):
+        third = PLLParameters.third_order_paper()
+        fourth = PLLParameters.fourth_order_paper()
+        assert third.order == 3 and fourth.order == 4
+        assert third.c1.contains(2e-12)
+        assert fourth.r2.contains(8e3)
+        assert len(third.table_rows()) == 7
+        assert len(fourth.table_rows()) == 9
+
+    def test_fourth_order_requires_extra_components(self):
+        third = PLLParameters.third_order_paper()
+        with pytest.raises(ModelError):
+            PLLParameters(order=4, c1=third.c1, c2=third.c2, r=third.r,
+                          f_ref=third.f_ref, k_vco=third.k_vco, i_p=third.i_p,
+                          divider=third.divider)
+
+    def test_averaged_model_stability(self):
+        assert PLLParameters.third_order_paper().is_averaged_model_stable()
+        assert PLLParameters.fourth_order_paper().is_averaged_model_stable()
+
+    def test_lock_voltage(self):
+        params = PLLParameters.third_order_paper()
+        nominal = params.nominal()
+        expected = nominal["divider"] * nominal["f_ref"] / nominal["k_vco"]
+        assert params.lock_voltage() == pytest.approx(expected)
+
+    def test_vertices_count(self):
+        params = PLLParameters.third_order_paper()
+        vertices = list(params.vertices())
+        # f_ref and k_vco are point intervals -> 2^5 corners
+        assert len(vertices) == 2 ** 5
+
+
+class TestComponents:
+    def test_pfd_state_machine(self):
+        pfd = PhaseFrequencyDetector()
+        assert pfd.mode_name == "mode1"
+        pfd.on_reference_edge()
+        assert pfd.output == 1 and pfd.mode_name == "mode2"
+        pfd.on_divider_edge()          # both high -> reset
+        assert pfd.output == 0 and pfd.mode_name == "mode1"
+        pfd.on_divider_edge()
+        assert pfd.output == -1 and pfd.mode_name == "mode3"
+        pfd.on_reference_edge()
+        assert pfd.output == 0
+
+    def test_charge_pump(self):
+        cp = ChargePump(5e-4)
+        assert cp.current(1) == pytest.approx(5e-4)
+        assert cp.current(-1) == pytest.approx(-5e-4)
+        with pytest.raises(ModelError):
+            cp.current(2)
+        with pytest.raises(ModelError):
+            ChargePump(-1.0)
+
+    def test_loop_filter_third_order(self):
+        lf = LoopFilter(c1=2e-12, c2=6e-12, r=8e3)
+        assert lf.order == 2
+        derivative = lf.derivatives([0.0, 1.0], 0.0)
+        assert derivative[0] > 0        # C1 charges toward v2
+        assert derivative[1] < 0        # C2 discharges through R
+        conservation = derivative[0] * 2e-12 + derivative[1] * 6e-12
+        assert conservation == pytest.approx(0.0, abs=1e-20)
+
+    def test_loop_filter_fourth_order(self):
+        lf = LoopFilter(c1=30e-12, c2=3e-12, r=50e3, c3=2e-12, r2=8e3)
+        assert lf.order == 3
+        assert lf.control_voltage([1.0, 2.0, 3.0]) == pytest.approx(3.0)
+        with pytest.raises(ModelError):
+            lf.derivatives([0.0, 0.0], 0.0)
+
+    def test_vco_and_divider(self):
+        vco = VoltageControlledOscillator(k_vco=1e9, f_free=1e6)
+        assert vco.frequency(1.0) == pytest.approx(1e9 + 1e6)
+        assert vco.control_for_frequency(vco.frequency(0.3)) == pytest.approx(0.3)
+        divider = FrequencyDivider(200)
+        assert divider.divided_frequency(5.4e9) == pytest.approx(27e6)
+
+
+class TestVerificationModels:
+    def test_third_order_structure(self):
+        model = build_third_order_model()
+        assert model.state_names == ("v1", "v2", "e")
+        assert set(model.system.mode_names) == {MODE_IDLE, MODE_PUMP_UP, MODE_PUMP_DOWN}
+        assert all(t.is_identity_reset for t in model.system.transitions)
+        np.testing.assert_allclose(model.equilibrium(), np.zeros(3))
+
+    def test_fourth_order_structure(self):
+        model = build_fourth_order_model()
+        assert model.state_names == ("v1", "v2", "v3", "e")
+        assert len(model.system.modes) == 3
+        assert "a3" in model.rate_constants
+
+    def test_pump_sign_convention(self):
+        model = build_third_order_model(uncertainty="none")
+        fields = model.nominal_fields()
+        origin = np.zeros(3)
+        up = [p.evaluate(origin) for p in fields[MODE_PUMP_UP]]
+        down = [p.evaluate(origin) for p in fields[MODE_PUMP_DOWN]]
+        assert up[1] > 0 > down[1]
+        idle = [p.evaluate(origin) for p in fields[MODE_IDLE]]
+        np.testing.assert_allclose(idle, np.zeros(3), atol=1e-12)
+
+    def test_uncertainty_modes(self):
+        none = build_third_order_model(uncertainty="none")
+        pump = build_third_order_model(uncertainty="pump")
+        full = build_third_order_model(uncertainty="full")
+        assert len(none.system.parameter_variables) == 0
+        assert len(pump.system.parameter_variables) == 1
+        assert len(full.system.parameter_variables) >= 4
+        with pytest.raises(ModelError):
+            build_third_order_model(uncertainty="bogus")
+
+    def test_rate_constants_match_intervals(self):
+        params = PLLParameters.third_order_paper()
+        intervals = rate_constant_intervals(params)
+        model = build_third_order_model(params)
+        for name, value in model.rate_constants.items():
+            assert intervals[name].contains(value)
+        assert intervals["pump"].lower > 0
+
+    def test_region_and_outer_set(self):
+        region = RegionOfInterest(voltage_bound=4.0, phase_bound=1.0)
+        model = build_third_order_model(region=region)
+        bounds = model.state_bounds()
+        assert bounds[0] == (-4.0, 4.0) and bounds[2] == (-1.0, 1.0)
+        outer = model.outer_set_polynomial()
+        assert outer.evaluate([0.0, 0.0, 0.0]) < 0        # origin inside
+        assert outer.evaluate([4.0, 0.0, 0.0]) >= -1e-9   # boundary
+        assert outer.evaluate([5.0, 0.0, 0.0]) > 0        # outside
+
+    def test_mode_domain_includes_box(self):
+        model = build_third_order_model()
+        domain = model.mode_domain(MODE_PUMP_UP)
+        assert domain.contains([0.0, 0.0, 0.5])
+        assert not domain.contains([9.0, 0.0, 0.5])
+        assert not domain.contains([0.0, 0.0, -0.5])
+
+    def test_scaling_roundtrip(self):
+        params = PLLParameters.third_order_paper()
+        scaling = verification_scaling(params)
+        physical = np.array([0.3, 0.1, 0.2])
+        normalized = scaling.to_normalized(physical)
+        np.testing.assert_allclose(scaling.to_physical(normalized), physical)
+        assert scaling.time_to_normalized(1.0 / params.f_ref.center) == pytest.approx(1.0)
+
+
+class TestBehavioralSimulation:
+    def test_fourth_order_locks(self):
+        params = PLLParameters.fourth_order_paper()
+        simulator = BehavioralPLLSimulator(params)
+        trace = simulator.simulate_from_difference_state(
+            [0.5, 0.5, 0.5, 0.3], duration_cycles=250, record_stride=20,
+            max_step_cycles=0.2)
+        assert abs(trace.final_phase_error()) < 0.05
+        assert abs(trace.control_voltage[-1] - simulator.lock_voltage) < 0.5
+
+    def test_trace_projection_shape(self):
+        params = PLLParameters.fourth_order_paper()
+        simulator = BehavioralPLLSimulator(params)
+        trace = simulator.simulate_from_difference_state(
+            [0.0, 0.0, 0.0, 0.1], duration_cycles=30, record_stride=10,
+            max_step_cycles=0.2)
+        projected = trace.to_difference_coordinates()
+        assert projected.shape[1] == 4
+        assert trace.pfd_state.shape == trace.times.shape
+
+    def test_wrong_initial_dimension_rejected(self):
+        simulator = BehavioralPLLSimulator(PLLParameters.third_order_paper())
+        with pytest.raises(ModelError):
+            simulator.simulate([0.0], duration_cycles=1.0)

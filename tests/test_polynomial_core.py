@@ -1,0 +1,237 @@
+"""Unit tests for variables, monomials and the Polynomial class."""
+
+import numpy as np
+import pytest
+
+from repro.polynomial import (
+    Monomial,
+    Polynomial,
+    Variable,
+    VariableVector,
+    make_variables,
+    monomial_basis,
+    basis_size,
+    polynomial_vector,
+)
+
+
+@pytest.fixture()
+def xyz():
+    x, y, z = make_variables("x", "y", "z")
+    return VariableVector([x, y, z])
+
+
+class TestVariables:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_vector_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            VariableVector([Variable("x"), Variable("x")])
+
+    def test_vector_index_and_union(self, xyz):
+        assert xyz.index(Variable("y")) == 1
+        other = VariableVector(make_variables("z", "w"))
+        merged = xyz.union(other)
+        assert merged.names == ("x", "y", "z", "w")
+
+    def test_variable_arithmetic_promotes_to_polynomial(self):
+        x, y = make_variables("x", "y")
+        p = x + 2 * y
+        assert isinstance(p, Polynomial)
+        assert p(1.0, 3.0) == pytest.approx(7.0)
+
+
+class TestMonomial:
+    def test_degree_and_multiplication(self):
+        m1 = Monomial((1, 2, 0))
+        m2 = Monomial((0, 1, 3))
+        assert m1.degree == 3
+        assert (m1 * m2).exponents == (1, 3, 3)
+
+    def test_division(self):
+        m1 = Monomial((2, 1))
+        m2 = Monomial((1, 0))
+        assert (m1 / m2).exponents == (1, 1)
+        with pytest.raises(ValueError):
+            _ = m2 / m1
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            Monomial((1, -1))
+
+    def test_differentiate(self):
+        coeff, dm = Monomial((3, 1)).differentiate(0)
+        assert coeff == 3.0
+        assert dm.exponents == (2, 1)
+        coeff0, _ = Monomial((0, 1)).differentiate(0)
+        assert coeff0 == 0.0
+
+    def test_evaluate(self):
+        assert Monomial((2, 1)).evaluate([3.0, 2.0]) == pytest.approx(18.0)
+
+    def test_evaluate_many_matches_scalar(self):
+        m = Monomial((1, 2))
+        pts = np.array([[1.0, 2.0], [3.0, -1.0]])
+        np.testing.assert_allclose(m.evaluate_many(pts),
+                                   [m.evaluate(p) for p in pts])
+
+
+class TestBasis:
+    def test_basis_count_matches_formula(self):
+        basis = monomial_basis(3, 2)
+        assert len(basis) == basis_size(3, 2) == 10
+
+    def test_min_degree_excludes_constant(self):
+        basis = monomial_basis(2, 2, min_degree=1)
+        assert all(m.degree >= 1 for m in basis)
+
+    def test_sorted_by_degree(self):
+        basis = monomial_basis(2, 3)
+        degrees = [m.degree for m in basis]
+        assert degrees == sorted(degrees)
+
+
+class TestPolynomialArithmetic:
+    def test_addition_and_subtraction(self, xyz):
+        x = Polynomial.from_variable(xyz[0], xyz)
+        y = Polynomial.from_variable(xyz[1], xyz)
+        p = (x + y) * (x - y)
+        expected = x * x - y * y
+        assert p.almost_equal(expected)
+
+    def test_scalar_operations(self, xyz):
+        x = Polynomial.from_variable(xyz[0], xyz)
+        p = 2 * x + 1 - x / 2
+        assert p(2.0, 0.0, 0.0) == pytest.approx(4.0)
+
+    def test_power(self, xyz):
+        x = Polynomial.from_variable(xyz[0], xyz)
+        y = Polynomial.from_variable(xyz[1], xyz)
+        p = (x + y) ** 3
+        assert p.coefficient((2, 1, 0)) == pytest.approx(3.0)
+        assert p.degree == 3
+
+    def test_zero_power(self, xyz):
+        x = Polynomial.from_variable(xyz[0], xyz)
+        assert (x ** 0).constant_term() == pytest.approx(1.0)
+
+    def test_negative_power_rejected(self, xyz):
+        x = Polynomial.from_variable(xyz[0], xyz)
+        with pytest.raises(ValueError):
+            _ = x ** -1
+
+    def test_mixed_variable_vectors_align(self):
+        x, y = make_variables("x", "y")
+        px = Polynomial.from_variable(x)
+        py = Polynomial.from_variable(y)
+        p = px + py
+        assert set(p.variables.names) == {"x", "y"}
+        assert p.evaluate([1.0, 2.0]) == pytest.approx(3.0)
+
+    def test_equality_and_hash(self, xyz):
+        x = Polynomial.from_variable(xyz[0], xyz)
+        assert x + x == 2 * x
+        assert hash(x * 1.0) == hash(x)
+
+
+class TestPolynomialCalculus:
+    def test_gradient(self, xyz):
+        x = Polynomial.from_variable(xyz[0], xyz)
+        y = Polynomial.from_variable(xyz[1], xyz)
+        p = x * x * y + y
+        grad = p.gradient()
+        assert grad[0].almost_equal(2 * x * y)
+        assert grad[1].almost_equal(x * x + 1)
+
+    def test_lie_derivative_linear_system(self, xyz):
+        x = Polynomial.from_variable(xyz[0], xyz)
+        y = Polynomial.from_variable(xyz[1], xyz)
+        z = Polynomial.from_variable(xyz[2], xyz)
+        V = x * x + y * y + z * z
+        field = [-x, -y, -z]
+        lie = V.lie_derivative(field)
+        assert lie.almost_equal(-2 * V)
+
+    def test_hessian_symmetric(self, xyz):
+        x = Polynomial.from_variable(xyz[0], xyz)
+        y = Polynomial.from_variable(xyz[1], xyz)
+        p = x * x * y
+        hess = p.hessian()
+        assert hess[0][1].almost_equal(hess[1][0])
+
+
+class TestSubstitution:
+    def test_numeric_substitution(self):
+        x, y = make_variables("x", "y")
+        xv = VariableVector([x, y])
+        p = Polynomial.from_variable(x, xv) ** 2 + Polynomial.from_variable(y, xv)
+        q = p.substitute({y: 2.0})
+        assert q.num_variables == 1
+        assert q.evaluate([3.0]) == pytest.approx(11.0)
+
+    def test_polynomial_composition(self):
+        x, y = make_variables("x", "y")
+        xv = VariableVector([x, y])
+        px = Polynomial.from_variable(x, xv)
+        py = Polynomial.from_variable(y, xv)
+        p = px * px + py
+        composed = p.compose([px - py, py * 2])
+        assert composed.evaluate([1.0, 2.0]) == pytest.approx((1 - 2) ** 2 + 4)
+
+    def test_shift_moves_evaluation_point(self):
+        x, y = make_variables("x", "y")
+        xv = VariableVector([x, y])
+        p = Polynomial.from_variable(x, xv) ** 2
+        shifted = p.shift([1.0, 0.0])
+        assert shifted.evaluate([0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_scale_variables(self):
+        x, = make_variables("x")
+        xv = VariableVector([x])
+        p = Polynomial.from_variable(x, xv) ** 2
+        scaled = p.scale_variables([3.0])
+        assert scaled.evaluate([1.0]) == pytest.approx(9.0)
+
+
+class TestConstructors:
+    def test_quadratic_form(self, xyz):
+        Q = np.diag([1.0, 2.0, 3.0])
+        p = Polynomial.from_quadratic_form(xyz, Q)
+        assert p.evaluate([1.0, 1.0, 1.0]) == pytest.approx(6.0)
+
+    def test_affine_vector_field(self, xyz):
+        A = [[0.0, 1.0, 0.0], [-1.0, 0.0, 0.0], [0.0, 0.0, -2.0]]
+        field = polynomial_vector(xyz, A, constants=[0.0, 0.5, 0.0])
+        values = [f.evaluate([1.0, 2.0, 3.0]) for f in field]
+        np.testing.assert_allclose(values, [2.0, -0.5, -6.0])
+
+    def test_coefficient_vector_roundtrip(self, xyz):
+        basis = monomial_basis(3, 2)
+        rng = np.random.default_rng(1)
+        vec = rng.normal(size=len(basis))
+        p = Polynomial.from_coefficient_vector(xyz, basis, vec)
+        np.testing.assert_allclose(p.coefficient_vector(basis), vec)
+
+    def test_coefficient_vector_outside_basis_raises(self, xyz):
+        basis = monomial_basis(3, 1)
+        x = Polynomial.from_variable(xyz[0], xyz)
+        with pytest.raises(ValueError):
+            (x ** 2).coefficient_vector(basis)
+
+    def test_evaluate_many(self, xyz):
+        x = Polynomial.from_variable(xyz[0], xyz)
+        y = Polynomial.from_variable(xyz[1], xyz)
+        p = x * y + 1
+        pts = np.array([[1.0, 2.0, 0.0], [0.0, 5.0, 1.0]])
+        np.testing.assert_allclose(p.evaluate_many(pts), [3.0, 1.0])
+
+    def test_to_string_nonempty(self, xyz):
+        x = Polynomial.from_variable(xyz[0], xyz)
+        assert "x" in (2 * x + 1).to_string()
+        assert Polynomial.zero(xyz).to_string() == "0"

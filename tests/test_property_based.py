@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.polynomial import (
+    Monomial,
+    Polynomial,
+    VariableVector,
+    make_variables,
+    monomial_basis,
+)
+from repro.sdp import ConeDims, cone_violation, project_onto_cone, smat, svec
+from repro.utils import Interval
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
+                          allow_infinity=False)
+small_coeffs = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False,
+                         allow_infinity=False)
+
+
+def polynomials(num_vars=2, max_degree=3):
+    basis = monomial_basis(num_vars, max_degree)
+    names = [f"x{i}" for i in range(num_vars)]
+    xv = VariableVector(make_variables(*names))
+
+    @st.composite
+    def build(draw):
+        coeffs = draw(st.lists(small_coeffs, min_size=len(basis), max_size=len(basis)))
+        return Polynomial(xv, dict(zip(basis, coeffs)))
+
+    return build()
+
+
+points2 = st.tuples(finite_floats, finite_floats)
+
+
+class TestPolynomialAlgebraProperties:
+    @given(polynomials(), polynomials(), points2)
+    @settings(max_examples=60, deadline=None)
+    def test_addition_is_pointwise(self, p, q, point):
+        assert (p + q).evaluate(point) == pytest.approx(
+            p.evaluate(point) + q.evaluate(point), rel=1e-9, abs=1e-7)
+
+    @given(polynomials(), polynomials(), points2)
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_is_pointwise(self, p, q, point):
+        assert (p * q).evaluate(point) == pytest.approx(
+            p.evaluate(point) * q.evaluate(point), rel=1e-8, abs=1e-6)
+
+    @given(polynomials(), points2)
+    @settings(max_examples=60, deadline=None)
+    def test_subtraction_gives_zero(self, p, point):
+        assert (p - p).evaluate(point) == pytest.approx(0.0, abs=1e-12)
+
+    @given(polynomials(max_degree=2), polynomials(max_degree=2))
+    @settings(max_examples=40, deadline=None)
+    def test_degree_of_product_bounded(self, p, q):
+        if p.is_zero() or q.is_zero():
+            return
+        assert (p * q).degree <= p.degree + q.degree
+
+    @given(polynomials(), points2)
+    @settings(max_examples=40, deadline=None)
+    def test_differentiation_reduces_degree(self, p, point):
+        dp = p.differentiate(0)
+        if not p.is_zero():
+            assert dp.degree <= max(p.degree - 1, 0)
+
+    @given(polynomials(), points2)
+    @settings(max_examples=40, deadline=None)
+    def test_evaluate_many_matches_evaluate(self, p, point):
+        batch = p.evaluate_many(np.array([point]))
+        assert batch[0] == pytest.approx(p.evaluate(point), rel=1e-9, abs=1e-9)
+
+
+class TestSvecProperties:
+    @given(st.integers(min_value=1, max_value=5), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_svec_roundtrip(self, order, data):
+        entries = data.draw(st.lists(small_coeffs, min_size=order * order,
+                                     max_size=order * order))
+        M = np.array(entries).reshape(order, order)
+        M = 0.5 * (M + M.T)
+        np.testing.assert_allclose(smat(svec(M), order), M, atol=1e-10)
+
+    @given(st.integers(min_value=1, max_value=4), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_cone_projection_is_idempotent_and_feasible(self, order, data):
+        dim = ConeDims(free=1, nonneg=2, psd=(order,))
+        entries = data.draw(st.lists(small_coeffs, min_size=dim.total,
+                                     max_size=dim.total))
+        v = np.array(entries)
+        projected = project_onto_cone(v, dim)
+        assert cone_violation(projected, dim) <= 1e-8
+        np.testing.assert_allclose(project_onto_cone(projected, dim), projected,
+                                   atol=1e-9)
+
+
+class TestIntervalProperties:
+    @given(finite_floats, finite_floats, finite_floats, finite_floats)
+    @settings(max_examples=80, deadline=None)
+    def test_addition_encloses_samples(self, a, b, c, d):
+        i1 = Interval(min(a, b), max(a, b))
+        i2 = Interval(min(c, d), max(c, d))
+        total = i1 + i2
+        assert total.contains(i1.center + i2.center, tolerance=1e-9)
+        assert total.contains(i1.lower + i2.lower, tolerance=1e-9)
+
+    @given(finite_floats, finite_floats, finite_floats, finite_floats)
+    @settings(max_examples=80, deadline=None)
+    def test_multiplication_encloses_products(self, a, b, c, d):
+        i1 = Interval(min(a, b), max(a, b))
+        i2 = Interval(min(c, d), max(c, d))
+        product = i1 * i2
+        for x in (i1.lower, i1.upper, i1.center):
+            for y in (i2.lower, i2.upper, i2.center):
+                assert product.contains(x * y, tolerance=1e-6)
+
+    @given(finite_floats, finite_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_negation_is_involutive(self, a, b):
+        interval = Interval(min(a, b), max(a, b))
+        twice = -(-interval)
+        assert twice.lower == pytest.approx(interval.lower)
+        assert twice.upper == pytest.approx(interval.upper)
+
+
+import pytest  # noqa: E402  (used by pytest.approx above)

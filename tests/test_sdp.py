@@ -1,0 +1,171 @@
+"""Unit tests for the conic SDP substrate (cones, builder, solvers)."""
+
+import numpy as np
+import pytest
+
+from repro.sdp import (
+    ADMMConicSolver,
+    ADMMSettings,
+    AlternatingProjectionSolver,
+    ConeDims,
+    ConicProblem,
+    ConicProblemBuilder,
+    SolverStatus,
+    available_backends,
+    cone_violation,
+    drop_zero_rows,
+    equilibrate,
+    make_solver,
+    project_onto_cone,
+    smat,
+    solve_conic_problem,
+    svec,
+    svec_dim,
+)
+
+
+class TestSvec:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(4, 4))
+        A = 0.5 * (A + A.T)
+        np.testing.assert_allclose(smat(svec(A), 4), A, atol=1e-12)
+
+    def test_inner_product_preserved(self):
+        rng = np.random.default_rng(1)
+        A = rng.normal(size=(3, 3)); A = A + A.T
+        B = rng.normal(size=(3, 3)); B = B + B.T
+        assert np.dot(svec(A), svec(B)) == pytest.approx(np.trace(A @ B))
+
+    def test_dimension(self):
+        assert svec_dim(5) == 15
+
+
+class TestCones:
+    def test_projection_clips_nonneg(self):
+        dims = ConeDims(free=1, nonneg=2, psd=())
+        v = np.array([-1.0, -2.0, 3.0])
+        projected = project_onto_cone(v, dims)
+        np.testing.assert_allclose(projected, [-1.0, 0.0, 3.0])
+
+    def test_projection_psd_block(self):
+        dims = ConeDims(free=0, nonneg=0, psd=(2,))
+        M = np.array([[1.0, 0.0], [0.0, -2.0]])
+        projected = smat(project_onto_cone(svec(M), dims), 2)
+        eigenvalues = np.linalg.eigvalsh(projected)
+        assert eigenvalues.min() >= -1e-12
+
+    def test_violation_zero_inside(self):
+        dims = ConeDims(free=1, nonneg=1, psd=(2,))
+        M = np.eye(2)
+        v = np.concatenate([[5.0], [1.0], svec(M)])
+        assert cone_violation(v, dims) == pytest.approx(0.0)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            ConeDims(free=-1)
+
+
+class TestBuilder:
+    def test_block_layout_and_extraction(self):
+        builder = ConicProblemBuilder()
+        free_id, _ = builder.add_free_block(2, name="f")
+        psd_id, _ = builder.add_psd_block(2, name="Q")
+        local, coeff = builder.psd_entry_local_index(psd_id, 0, 1)
+        builder.add_equality_row({(free_id, 0): 1.0, (psd_id, local): coeff}, rhs=2.0)
+        problem = builder.build()
+        assert problem.num_variables == 2 + svec_dim(2)
+        assert problem.num_constraints == 1
+        x = np.zeros(problem.num_variables)
+        x[0] = 2.0
+        assert problem.equality_residual(x) == pytest.approx(0.0)
+
+    def test_psd_entry_index_formula(self):
+        builder = ConicProblemBuilder()
+        psd_id, _ = builder.add_psd_block(3)
+        # order-3 svec layout: (0,0),(0,1),(0,2),(1,1),(1,2),(2,2)
+        assert builder.psd_entry_local_index(psd_id, 0, 0)[0] == 0
+        assert builder.psd_entry_local_index(psd_id, 1, 1)[0] == 3
+        assert builder.psd_entry_local_index(psd_id, 2, 2)[0] == 5
+        assert builder.psd_entry_local_index(psd_id, 2, 1)[0] == 4
+
+    def test_zero_row_with_nonzero_rhs_is_infeasible(self):
+        builder = ConicProblemBuilder()
+        builder.add_free_block(1)
+        builder.add_equality_row({}, rhs=1.0)
+        problem = builder.build()
+        with pytest.raises(ValueError):
+            drop_zero_rows(problem)
+
+
+def _simple_sdp_problem():
+    """min x s.t. [[x, 1], [1, x]] >> 0  -> optimum x = 1 (via x free = psd diag)."""
+    builder = ConicProblemBuilder()
+    free_id, _ = builder.add_free_block(1, name="x")
+    psd_id, _ = builder.add_psd_block(2, name="M")
+    for i in range(2):
+        local, coeff = builder.psd_entry_local_index(psd_id, i, i)
+        builder.add_equality_row({(psd_id, local): coeff, (free_id, 0): -1.0}, rhs=0.0)
+    local, coeff = builder.psd_entry_local_index(psd_id, 0, 1)
+    builder.add_equality_row({(psd_id, local): coeff}, rhs=1.0)
+    builder.add_cost(free_id, 0, 1.0)
+    return builder, free_id, builder.build()
+
+
+class TestSolvers:
+    def test_admm_solves_simple_sdp(self):
+        builder, free_id, problem = _simple_sdp_problem()
+        result = ADMMConicSolver(ADMMSettings(max_iterations=8000)).solve(problem)
+        assert result.status in (SolverStatus.OPTIMAL, SolverStatus.FEASIBLE)
+        x_value = builder.block_value(free_id, result.x)[0]
+        assert x_value == pytest.approx(1.0, abs=5e-3)
+
+    def test_admm_feasibility_problem(self):
+        builder = ConicProblemBuilder()
+        psd_id, _ = builder.add_psd_block(2)
+        local, coeff = builder.psd_entry_local_index(psd_id, 0, 0)
+        builder.add_equality_row({(psd_id, local): coeff}, rhs=2.0)
+        result = solve_conic_problem(builder.build())
+        assert result.is_success
+        M = builder.psd_block_matrix(psd_id, result.x)
+        assert M[0, 0] == pytest.approx(2.0, abs=1e-5)
+        assert np.linalg.eigvalsh(M).min() >= -1e-8
+
+    def test_admm_detects_infeasible(self):
+        builder = ConicProblemBuilder()
+        nn_id, _ = builder.add_nonneg_block(1)
+        builder.add_equality_row({(nn_id, 0): 1.0}, rhs=-1.0)
+        result = solve_conic_problem(builder.build())
+        assert not result.is_success
+
+    def test_projection_backend_feasibility(self):
+        builder = ConicProblemBuilder()
+        psd_id, _ = builder.add_psd_block(2)
+        local, coeff = builder.psd_entry_local_index(psd_id, 0, 1)
+        builder.add_equality_row({(psd_id, local): coeff}, rhs=0.5)
+        result = AlternatingProjectionSolver().solve(builder.build())
+        assert result.is_success
+        M = builder.psd_block_matrix(psd_id, result.x)
+        assert M[0, 1] == pytest.approx(0.5, abs=1e-5)
+
+    def test_projection_backend_rejects_objective(self):
+        _, _, problem = _simple_sdp_problem()
+        with pytest.raises(ValueError):
+            AlternatingProjectionSolver().solve(problem)
+
+    def test_backend_registry(self):
+        assert "admm" in available_backends()
+        assert "projection" in available_backends()
+        solver = make_solver("admm", max_iterations=10)
+        assert isinstance(solver, ADMMConicSolver)
+        with pytest.raises(KeyError):
+            make_solver("nonexistent")
+
+    def test_equilibrate_preserves_solutions(self):
+        _, _, problem = _simple_sdp_problem()
+        scaled, scaling = equilibrate(problem)
+        assert scaled.num_constraints == problem.num_constraints
+        # row scaling keeps the feasible set: a feasible x of the original
+        # satisfies the scaled equalities too.
+        result = solve_conic_problem(problem)
+        assert scaled.equality_residual(result.x) <= 1e-4
