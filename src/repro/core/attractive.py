@@ -51,6 +51,15 @@ class AttractiveInvariant:
         return min(ls.certificate.evaluate(state) - ls.level
                    for ls in self.level_sets.values())
 
+    def membership_margins(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`membership_margin` for an ``(m, n)`` array of points."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        margins = np.full(points.shape[0], np.inf)
+        for ls in self.level_sets.values():
+            margins = np.minimum(
+                margins, ls.certificate.evaluate_many(points) - ls.level)
+        return margins
+
     def contains_points(self, points: np.ndarray, tolerance: float = 1e-9) -> np.ndarray:
         """Vectorised membership for an ``(m, n)`` array of points."""
         points = np.atleast_2d(np.asarray(points, dtype=float))
@@ -73,14 +82,11 @@ class AttractiveInvariant:
         as well (up to ``tolerance`` on the membership margin).
         """
         trajectory = np.atleast_2d(np.asarray(trajectory, dtype=float))
-        entered = False
-        for point in trajectory:
-            margin = self.membership_margin(point)
-            if margin <= tolerance:
-                entered = True
-            elif entered and margin > tolerance:
-                return False
-        return True
+        inside = self.membership_margins(trajectory) <= tolerance
+        if not inside.any():
+            return True
+        first_inside = int(np.argmax(inside))
+        return bool(np.all(inside[first_inside:]))
 
     def certificate_nonincreasing_along(self, trajectory: np.ndarray,
                                         mode_name: str,

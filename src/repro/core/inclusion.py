@@ -30,6 +30,7 @@ class InclusionCertificate:
     status: str
     inner: Polynomial
     outer: Polynomial
+    warm_start_data: Optional[dict] = None
 
     def __bool__(self) -> bool:
         return self.holds
@@ -41,6 +42,7 @@ def check_sublevel_inclusion(
     multiplier_degree: int = 2,
     domain: Optional[SemialgebraicSet] = None,
     solver_backend: Optional[str] = None,
+    warm_start: Optional[dict] = None,
     **solver_settings,
 ) -> InclusionCertificate:
     """Certify ``{inner <= 0} ⊆ {outer <= 0}`` via Lemma 1.
@@ -48,6 +50,9 @@ def check_sublevel_inclusion(
     The optional ``domain`` restricts the claim to a semialgebraic set (its
     constraints enter through additional S-procedure multipliers), which keeps
     the certificate search feasible when the inclusion only holds locally.
+    ``warm_start`` takes the ``warm_start_data`` of a previous structurally
+    identical query (e.g. the neighbouring level of a bisection loop); the
+    returned certificate carries this solve's data for the next query.
     """
     variables = inner.variables.union(outer.variables)
     inner_v = inner.with_variables(variables)
@@ -62,16 +67,20 @@ def check_sublevel_inclusion(
                                                name=f"dom{k}")
             expr = expr - sigma * constraint.with_variables(variables)
     program.add_sos_constraint(expr, name="inclusion")
-    solution = program.solve(backend=solver_backend, **solver_settings)
+    solution = program.solve(backend=solver_backend, warm_start=warm_start,
+                             **solver_settings)
+    warm_data = solution.solver_result.info.get("warm_start_data")
 
     if not solution.is_success:
         return InclusionCertificate(holds=False, multiplier=None,
                                     status=solution.status.value,
-                                    inner=inner_v, outer=outer_v)
+                                    inner=inner_v, outer=outer_v,
+                                    warm_start_data=warm_data)
     multiplier = solution.polynomial(lam)
     return InclusionCertificate(holds=True, multiplier=multiplier,
                                 status=solution.status.value,
-                                inner=inner_v, outer=outer_v)
+                                inner=inner_v, outer=outer_v,
+                                warm_start_data=warm_data)
 
 
 def sample_inclusion_counterexample(

@@ -35,6 +35,9 @@ class LevelSetOptions:
     initial_upper_bound: Optional[float] = None
     solver_backend: Optional[str] = None
     solver_settings: Dict[str, object] = field(default_factory=dict)
+    #: Warm-start each bisection query from the previous level's iterates
+    #: (all queries of one maximisation share the same SDP structure).
+    warm_start: bool = True
 
 
 @dataclass
@@ -62,19 +65,25 @@ class LevelSetMaximizer:
 
     def __init__(self, options: Optional[LevelSetOptions] = None):
         self.options = options or LevelSetOptions()
+        # Per-inequality warm-start data carried across bisection levels
+        # (reset at the start of each maximisation).
+        self._warm_starts: Dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     def _level_is_certified(self, certificate: Polynomial, level: float,
                             domain: SemialgebraicSet) -> bool:
         """One feasibility query: ``{V - level <= 0} ⊆ {g_j >= 0}`` for every j."""
         inner = certificate - level
-        for constraint in domain.inequalities:
+        for k, constraint in enumerate(domain.inequalities):
             inclusion = check_sublevel_inclusion(
                 inner, -constraint,
                 multiplier_degree=self.options.multiplier_degree,
                 solver_backend=self.options.solver_backend,
+                warm_start=self._warm_starts.get(k) if self.options.warm_start else None,
                 **self.options.solver_settings,
             )
+            if self.options.warm_start and inclusion.warm_start_data is not None:
+                self._warm_starts[k] = inclusion.warm_start_data
             if not inclusion.holds:
                 return False
         return True
@@ -89,7 +98,7 @@ class LevelSetMaximizer:
         lows = np.array([b[0] for b in bounds])
         highs = np.array([b[1] for b in bounds])
         points = rng.uniform(lows, highs, size=(4000, len(bounds)))
-        outside = np.array([not domain.contains(p) for p in points])
+        outside = ~domain.contains_many(points)
         if not np.any(outside):
             values = certificate.evaluate_many(points)
             return float(values.max()) * 2.0 + 1.0
@@ -101,6 +110,7 @@ class LevelSetMaximizer:
                  bounds: Optional[Sequence[Tuple[float, float]]] = None) -> MaximizedLevelSet:
         """Bisect for the largest certified level of one certificate."""
         options = self.options
+        self._warm_starts = {}
         upper = options.initial_upper_bound
         if upper is None:
             upper = self._default_upper_bound(certificate, domain, bounds)

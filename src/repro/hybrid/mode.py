@@ -16,7 +16,7 @@ from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import ModelError
-from ..polynomial import Polynomial, Variable, VariableVector
+from ..polynomial import Polynomial, PolynomialStack, Variable, VariableVector
 from ..sos import SemialgebraicSet
 
 
@@ -103,13 +103,15 @@ class Mode:
     def vector_field_function(
         self, parameter_values: Optional[Mapping[Variable, float]] = None
     ) -> Callable[[np.ndarray], np.ndarray]:
-        """A numeric callable ``x -> f_q(x)`` for the simulator."""
+        """A numeric callable ``x -> f_q(x)`` for the simulator.
+
+        All flow-map components are fused into one :class:`PolynomialStack`,
+        so each right-hand-side evaluation inside the ODE integrator is a
+        single array contraction.
+        """
         field_polys = self.flow_map_with_parameters(parameter_values or {})
-
-        def vector_field(state: np.ndarray) -> np.ndarray:
-            return np.array([poly.evaluate(state) for poly in field_polys])
-
-        return vector_field
+        stack = PolynomialStack(field_polys, self.state_variables)
+        return stack.evaluate
 
     def drift_at(self, state: Sequence[float],
                  parameter_values: Optional[Mapping[Variable, float]] = None) -> np.ndarray:

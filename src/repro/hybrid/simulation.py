@@ -16,7 +16,7 @@ import numpy as np
 from scipy.integrate import solve_ivp
 
 from ..exceptions import ModelError
-from ..polynomial import Variable
+from ..polynomial import PolynomialStack, Variable
 from ..utils import get_logger
 from .system import HybridSystem
 from .time_domain import ArcSegment, HybridArc, HybridTimeInterval
@@ -75,15 +75,35 @@ class HybridSimulator:
         return active[0].name
 
     def _make_events(self, mode_name: str):
-        """Build solve_ivp event functions from the outgoing transition triggers."""
+        """Build solve_ivp event functions from the outgoing transition triggers.
+
+        All triggers of the mode are fused into one :class:`PolynomialStack`;
+        since the integrator evaluates every event at every accepted step, the
+        stacked values are computed once per state and shared by the event
+        callables through a one-slot memo.
+        """
         transitions = [t for t in self.system.transitions_from(mode_name)
                        if t.trigger is not None]
-        events = []
-        for transition in transitions:
-            trigger = transition.trigger.with_variables(self.system.state_variables)
+        if not transitions:
+            return transitions, []
+        stack = PolynomialStack(
+            [t.trigger.with_variables(self.system.state_variables)
+             for t in transitions],
+            self.system.state_variables,
+        )
+        memo: Dict[str, object] = {"key": None, "values": None}
 
-            def event(t, y, _trigger=trigger):
-                return _trigger.evaluate(y)
+        def trigger_values(t: float, y: np.ndarray) -> np.ndarray:
+            key = (t, y.tobytes())
+            if memo["key"] != key:
+                memo["key"] = key
+                memo["values"] = stack.evaluate(y)
+            return memo["values"]
+
+        events = []
+        for index in range(len(transitions)):
+            def event(t, y, _index=index):
+                return float(trigger_values(t, np.asarray(y, dtype=float))[_index])
 
             event.terminal = True
             event.direction = 1.0  # fire when the trigger crosses zero from below

@@ -8,7 +8,7 @@ from typing import Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import ModelError
-from ..polynomial import Polynomial, VariableVector
+from ..polynomial import Polynomial, PolynomialStack, VariableVector
 from ..sos import SemialgebraicSet
 
 
@@ -71,10 +71,31 @@ class Transition:
             Polynomial.from_variable(v, self.state_variables) for v in self.state_variables
         )
 
+    def _reset_stack(self) -> PolynomialStack:
+        # Cached stacked evaluator of the reset map (jumps can fire thousands
+        # of times per simulation).
+        stack = getattr(self, "_reset_stack_cache", None)
+        if stack is None:
+            stack = PolynomialStack(
+                [poly.with_variables(self.state_variables)
+                 for poly in self.reset_polynomials()],
+                self.state_variables,
+            )
+            object.__setattr__(self, "_reset_stack_cache", stack)
+        return stack
+
     def apply_reset(self, state: Sequence[float]) -> np.ndarray:
         state = np.asarray(state, dtype=float)
-        return np.array([poly.with_variables(self.state_variables).evaluate(state)
-                         for poly in self.reset_polynomials()])
+        if self.reset_map is None:
+            return state.copy()
+        return self._reset_stack().evaluate(state)
+
+    def apply_reset_many(self, states: np.ndarray) -> np.ndarray:
+        """Vectorised reset for an ``(m, n)`` array of pre-jump states."""
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        if self.reset_map is None:
+            return states.copy()
+        return self._reset_stack().evaluate_many(states)
 
     def is_enabled(self, state: Sequence[float], tolerance: float = 1e-9) -> bool:
         return self.guard_set.contains(state, tolerance=tolerance)

@@ -7,8 +7,19 @@ Gram-matrix utilities.
 """
 
 from .variables import Variable, VariableVector, make_variables
-from .monomial import Monomial, exponents_up_to_degree, monomial_product_index
-from .polynomial import Polynomial, polynomial_vector, COEFFICIENT_TOLERANCE
+from .monomial import (
+    Monomial,
+    basis_exponent_matrix,
+    exponent_matrix_up_to_degree,
+    exponents_up_to_degree,
+    monomial_product_index,
+)
+from .polynomial import (
+    Polynomial,
+    PolynomialStack,
+    polynomial_vector,
+    COEFFICIENT_TOLERANCE,
+)
 from .basis import (
     basis_for_support,
     basis_size,
@@ -22,9 +33,11 @@ from .basis import (
 from .linexpr import DecisionVariable, LinExpr, stack_coefficients
 from .parampoly import ParametricPolynomial
 from .gram import (
+    GramProductTable,
     SOSDecomposition,
     check_sos_numerically,
     extract_sos_decomposition,
+    gram_product_table,
     gram_residual,
     gram_to_polynomial,
     polynomial_to_gram_structure,
@@ -37,8 +50,11 @@ __all__ = [
     "make_variables",
     "Monomial",
     "exponents_up_to_degree",
+    "exponent_matrix_up_to_degree",
+    "basis_exponent_matrix",
     "monomial_product_index",
     "Polynomial",
+    "PolynomialStack",
     "polynomial_vector",
     "COEFFICIENT_TOLERANCE",
     "monomial_basis",
@@ -54,6 +70,8 @@ __all__ = [
     "stack_coefficients",
     "ParametricPolynomial",
     "gram_to_polynomial",
+    "gram_product_table",
+    "GramProductTable",
     "polynomial_to_gram_structure",
     "SOSDecomposition",
     "extract_sos_decomposition",

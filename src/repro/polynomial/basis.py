@@ -8,6 +8,7 @@ be written ``z(x)^T Q z(x)`` with ``Q ⪰ 0``.  Utilities for trimming the basis
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 from .monomial import Monomial, exponents_up_to_degree
@@ -15,11 +16,14 @@ from .polynomial import Polynomial
 from .variables import VariableVector
 
 
+@lru_cache(maxsize=1024)
 def monomial_basis(num_variables: int, max_degree: int,
                    min_degree: int = 0) -> Tuple[Monomial, ...]:
     """All monomials with total degree in ``[min_degree, max_degree]``.
 
     Sorted in graded lexicographic order (constant first when included).
+    Cached: the SOS layer requests the same handful of bases for every
+    constraint it compiles.
     """
     if max_degree < 0:
         raise ValueError("max_degree must be non-negative")

@@ -10,29 +10,82 @@ a-posteriori certification utilities used to validate solver output.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .monomial import Monomial
-from .polynomial import Polynomial
+from .monomial import Monomial, basis_exponent_matrix
+from .polynomial import Polynomial, group_exponent_rows
 from .variables import VariableVector
+
+
+@dataclass(frozen=True)
+class GramProductTable:
+    """Vectorised index table of the products ``basis[i] * basis[j]``, i <= j.
+
+    ``pair_i/pair_j`` enumerate the upper-triangle pairs in row-major (svec)
+    order; ``pair_product`` maps each pair to an index into ``products`` (the
+    distinct product monomials, graded-lex sorted); ``pair_weight`` is the
+    symmetric-expansion multiplicity (1 on the diagonal, 2 off it).  The SOS
+    compiler turns these arrays directly into COO equality-constraint
+    triplets — no per-entry Python loop.
+    """
+
+    basis: Tuple[Monomial, ...]
+    products: Tuple[Monomial, ...]
+    pair_i: np.ndarray
+    pair_j: np.ndarray
+    pair_product: np.ndarray
+    pair_weight: np.ndarray
+    product_index: Dict[Monomial, int]
+
+
+@lru_cache(maxsize=512)
+def gram_product_table(basis: Tuple[Monomial, ...]) -> GramProductTable:
+    """Precompute the Gram product structure of a monomial basis (cached).
+
+    One NumPy pass: stack the basis exponents, form all upper-triangle pair
+    sums, and group identical product monomials.  Compiling an SOS constraint
+    over a basis seen before (ubiquitous in parameter sweeps and bisection
+    loops) reuses the table for free.
+    """
+    b = len(basis)
+    exps = basis_exponent_matrix(basis)
+    pair_i, pair_j = np.triu_indices(b)
+    prod_exps = exps[pair_i] + exps[pair_j]
+    unique_rows, pair_product = group_exponent_rows(prod_exps)
+    products = tuple(Monomial(tuple(int(e) for e in row)) for row in unique_rows)
+    pair_weight = np.where(pair_i == pair_j, 1.0, 2.0)
+    for arr in (pair_i, pair_j, pair_product, pair_weight):
+        arr.setflags(write=False)
+    return GramProductTable(
+        basis=basis,
+        products=products,
+        pair_i=pair_i,
+        pair_j=pair_j,
+        pair_product=pair_product,
+        pair_weight=pair_weight,
+        product_index={m: k for k, m in enumerate(products)},
+    )
 
 
 def gram_to_polynomial(variables: VariableVector, basis: Sequence[Monomial],
                        gram: np.ndarray) -> Polynomial:
-    """Expand ``z(x)^T Q z(x)`` into a :class:`Polynomial`."""
+    """Expand ``z(x)^T Q z(x)`` into a :class:`Polynomial` (vectorised)."""
     gram = np.asarray(gram, dtype=float)
     n = len(basis)
     if gram.shape != (n, n):
         raise ValueError(f"Gram matrix shape {gram.shape} does not match basis size {n}")
+    if n == 0:
+        return Polynomial.zero(variables)
     gram = 0.5 * (gram + gram.T)
-    coeffs: Dict[Monomial, float] = {}
-    for i in range(n):
-        for j in range(n):
-            prod = basis[i] * basis[j]
-            coeffs[prod] = coeffs.get(prod, 0.0) + gram[i, j]
-    return Polynomial(variables, coeffs)
+    table = gram_product_table(tuple(basis))
+    values = gram[table.pair_i, table.pair_j] * table.pair_weight
+    coeffs = np.bincount(table.pair_product, weights=values,
+                         minlength=len(table.products))
+    exps = basis_exponent_matrix(table.products)
+    return Polynomial._from_arrays(variables, exps, coeffs)
 
 
 def polynomial_to_gram_structure(

@@ -9,6 +9,7 @@ order, and support multiplication / division / evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,22 +30,32 @@ class Monomial:
     def __post_init__(self) -> None:
         if any((not isinstance(e, (int, np.integer))) or e < 0 for e in self.exponents):
             raise ValueError(f"exponents must be non-negative integers, got {self.exponents}")
-        object.__setattr__(self, "exponents", tuple(int(e) for e in self.exponents))
+        exponents = tuple(int(e) for e in self.exponents)
+        object.__setattr__(self, "exponents", exponents)
+        # Hash and sort key are recomputed millions of times by the SOS
+        # compiler's dict lookups and support orderings — cache both.
+        object.__setattr__(self, "_hash", hash(exponents))
+        object.__setattr__(self, "_sort_key",
+                           (sum(exponents), tuple(-e for e in exponents)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Monomial):
+            return self.exponents == other.exponents
+        return NotImplemented
 
     # -- constructors ------------------------------------------------------
     @classmethod
     def constant(cls, num_variables: int) -> "Monomial":
-        """The monomial ``1`` in ``num_variables`` variables."""
-        return cls((0,) * num_variables)
+        """The monomial ``1`` in ``num_variables`` variables (cached)."""
+        return constant_monomial(num_variables)
 
     @classmethod
     def unit(cls, index: int, num_variables: int, power: int = 1) -> "Monomial":
-        """The monomial ``x_index ** power``."""
-        if not 0 <= index < num_variables:
-            raise IndexError(f"variable index {index} out of range for {num_variables} variables")
-        exps = [0] * num_variables
-        exps[index] = power
-        return cls(tuple(exps))
+        """The monomial ``x_index ** power`` (cached)."""
+        return unit_monomial(index, num_variables, power)
 
     # -- basic queries -----------------------------------------------------
     @property
@@ -123,7 +134,7 @@ class Monomial:
     # -- ordering / display ------------------------------------------------
     def sort_key(self) -> Tuple[int, Tuple[int, ...]]:
         """Graded lexicographic key: total degree first, then exponents."""
-        return (self.degree, tuple(-e for e in self.exponents))
+        return self._sort_key  # type: ignore[attr-defined]
 
     def __lt__(self, other: "Monomial") -> bool:
         return self.sort_key() < other.sort_key()
@@ -146,6 +157,23 @@ class Monomial:
         return {variables[i]: e for i, e in enumerate(self.exponents) if e > 0}
 
 
+@lru_cache(maxsize=4096)
+def constant_monomial(num_variables: int) -> Monomial:
+    """Cached ``Monomial.constant`` (the constant monomial is requested on
+    nearly every coefficient lookup)."""
+    return Monomial((0,) * num_variables)
+
+
+@lru_cache(maxsize=4096)
+def unit_monomial(index: int, num_variables: int, power: int = 1) -> Monomial:
+    """Cached ``Monomial.unit``."""
+    if not 0 <= index < num_variables:
+        raise IndexError(f"variable index {index} out of range for {num_variables} variables")
+    exps = [0] * num_variables
+    exps[index] = power
+    return Monomial(tuple(exps))
+
+
 def monomial_product_index(
     basis: Sequence[Monomial],
 ) -> Dict[Tuple[int, int], Monomial]:
@@ -161,25 +189,74 @@ def monomial_product_index(
     return products
 
 
+@lru_cache(maxsize=1024)
+def basis_exponent_matrix(basis: Tuple[Monomial, ...]) -> np.ndarray:
+    """The stacked ``(b, n)`` exponent matrix of a monomial basis (read-only).
+
+    Cached because the SOS layer repeatedly converts the same Gram bases to
+    arrays when assembling product-index tables.
+    """
+    if not basis:
+        return np.zeros((0, 0), dtype=np.int64)
+    matrix = np.array([m.exponents for m in basis], dtype=np.int64)
+    matrix.setflags(write=False)
+    return matrix
+
+
+@lru_cache(maxsize=1024)
+def exponent_matrix_up_to_degree(num_variables: int, max_degree: int,
+                                 min_degree: int = 0) -> np.ndarray:
+    """All exponent tuples with total degree in ``[min_degree, max_degree]``
+    as a read-only ``(count, num_variables)`` array in graded-lex order.
+
+    Built degree by degree with a vectorised recurrence instead of a Python
+    composition generator; cached because every SOS constraint asks for the
+    same handful of (n, d) combinations.
+    """
+    if num_variables == 0:
+        if min_degree <= 0 <= max_degree:
+            out = np.zeros((1, 0), dtype=np.int64)
+        else:
+            out = np.zeros((0, 0), dtype=np.int64)
+        out.setflags(write=False)
+        return out
+
+    def _exact_degree(degree: int) -> np.ndarray:
+        # Rows of non-negative integer solutions of e_1 + ... + e_n = degree,
+        # ordered with e_1 descending (graded-lex within the degree level).
+        if num_variables == 1:
+            return np.array([[degree]], dtype=np.int64)
+        blocks = []
+        for first in range(degree, -1, -1):
+            rest = _exact_by_degree[degree - first] if num_variables >= 2 else None
+            block = np.empty((rest.shape[0], num_variables), dtype=np.int64)
+            block[:, 0] = first
+            block[:, 1:] = rest
+            blocks.append(block)
+        return np.vstack(blocks)
+
+    # Tail tables for n-1 variables, one per degree, computed recursively via
+    # the cache (the recursion depth is the variable count, which is tiny).
+    _exact_by_degree = {}
+    if num_variables >= 2:
+        tail = exponent_matrix_up_to_degree(num_variables - 1, max_degree, 0)
+        tail_degrees = tail.sum(axis=1)
+        for degree in range(max_degree + 1):
+            _exact_by_degree[degree] = tail[tail_degrees == degree]
+
+    levels = [_exact_degree(d) for d in range(min_degree, max_degree + 1)]
+    out = np.vstack(levels) if levels else np.zeros((0, num_variables), dtype=np.int64)
+    out.setflags(write=False)
+    return out
+
+
 def exponents_up_to_degree(num_variables: int, max_degree: int,
                            min_degree: int = 0) -> Iterable[Tuple[int, ...]]:
     """Yield all exponent tuples with ``min_degree <= total degree <= max_degree``.
 
-    Ordered by graded lexicographic order (constant first).
+    Ordered by graded lexicographic order (constant first).  Backed by the
+    cached :func:`exponent_matrix_up_to_degree` table.
     """
-    if num_variables == 0:
-        if min_degree <= 0 <= max_degree:
-            yield ()
-        return
-
-    def _compositions(total: int, slots: int):
-        if slots == 1:
-            yield (total,)
-            return
-        for first in range(total, -1, -1):
-            for rest in _compositions(total - first, slots - 1):
-                yield (first,) + rest
-
-    for degree in range(min_degree, max_degree + 1):
-        for combo in _compositions(degree, num_variables):
-            yield combo
+    matrix = exponent_matrix_up_to_degree(num_variables, max_degree, min_degree)
+    for row in matrix:
+        yield tuple(int(e) for e in row)

@@ -1,9 +1,13 @@
-"""Dense-coefficient multivariate polynomials with real coefficients.
+"""Array-backed multivariate polynomials with real coefficients.
 
 The :class:`Polynomial` class is the numeric workhorse of the whole library:
 hybrid-system flow maps, Lyapunov certificates, level-set functions and escape
-certificates are all instances of it.  Coefficients are stored sparsely as a
-``{Monomial: float}`` mapping over a fixed :class:`VariableVector`.
+certificates are all instances of it.  Terms are stored as an exponent matrix
+``E`` of shape ``(m, n)`` (one row per monomial) paired with a coefficient
+vector of shape ``(m,)``, so arithmetic, differentiation and (batched)
+evaluation are single NumPy passes instead of per-monomial Python loops.  The
+historical ``{Monomial: float}`` mapping remains available through the
+:attr:`coefficients` view, which is materialised lazily and cached.
 """
 
 from __future__ import annotations
@@ -21,9 +25,65 @@ Number = Union[int, float, np.integer, np.floating]
 #: Coefficients with absolute value below this threshold are dropped.
 COEFFICIENT_TOLERANCE = 1e-14
 
+_EXPONENT_DTYPE = np.int64
+
 
 def _is_number(value: object) -> bool:
     return isinstance(value, (int, float, np.integer, np.floating))
+
+
+def _empty_terms(num_variables: int) -> Tuple[np.ndarray, np.ndarray]:
+    return (np.zeros((0, num_variables), dtype=_EXPONENT_DTYPE), np.zeros(0))
+
+
+def _graded_lex_order(exponents: np.ndarray) -> np.ndarray:
+    """Sorting permutation matching :meth:`Monomial.sort_key` (degree, then
+    descending exponents left-to-right)."""
+    degrees = exponents.sum(axis=1)
+    keys = np.vstack([(-exponents[:, ::-1]).T, degrees]) if exponents.shape[1] \
+        else degrees.reshape(1, -1)
+    return np.lexsort(keys)
+
+
+def group_exponent_rows(exponents: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Deduplicate exponent rows into graded-lex order.
+
+    Returns ``(unique_rows, inverse)`` where ``unique_rows`` is sorted
+    graded-lexicographically and ``inverse[k]`` is the position of input row
+    ``k`` in ``unique_rows``.  Shared by term canonicalisation, stacked
+    evaluators and the Gram product tables, so the canonical ordering lives in
+    exactly one place.
+    """
+    m, n = exponents.shape
+    if m == 0:
+        return exponents, np.zeros(0, dtype=np.int64)
+    order = _graded_lex_order(exponents)
+    sorted_rows = exponents[order]
+    new_group = np.empty(m, dtype=bool)
+    new_group[0] = True
+    if m > 1:
+        new_group[1:] = np.any(sorted_rows[1:] != sorted_rows[:-1], axis=1) if n \
+            else False
+    inverse = np.empty(m, dtype=np.int64)
+    inverse[order] = np.cumsum(new_group) - 1
+    return sorted_rows[new_group], inverse
+
+
+def _canonicalize_terms(
+    exponents: np.ndarray,
+    coefficients: np.ndarray,
+    tolerance: float = COEFFICIENT_TOLERANCE,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort rows graded-lexicographically, merge duplicates, drop near-zeros."""
+    if exponents.shape[0] == 0:
+        return _empty_terms(exponents.shape[1])
+    unique_exps, inverse = group_exponent_rows(exponents)
+    merged = np.bincount(inverse, weights=coefficients,
+                         minlength=unique_exps.shape[0])
+    keep = np.abs(merged) > tolerance
+    if keep.all():
+        return unique_exps, merged
+    return unique_exps[keep], merged[keep]
 
 
 class Polynomial:
@@ -39,7 +99,7 @@ class Polynomial:
         coefficients.  Near-zero coefficients are dropped.
     """
 
-    __slots__ = ("variables", "coefficients")
+    __slots__ = ("variables", "_exponents", "_coefficients", "_coeff_view")
 
     def __init__(
         self,
@@ -49,28 +109,73 @@ class Polynomial:
         if not isinstance(variables, VariableVector):
             variables = VariableVector(variables)
         self.variables: VariableVector = variables
-        coeffs: Dict[Monomial, float] = {}
+        n = len(variables)
         if coefficients:
-            n = len(variables)
-            for key, value in coefficients.items():
+            rows = np.empty((len(coefficients), n), dtype=_EXPONENT_DTYPE)
+            values = np.empty(len(coefficients))
+            for k, (key, value) in enumerate(coefficients.items()):
                 mono = key if isinstance(key, Monomial) else Monomial(tuple(key))
                 if mono.num_variables != n:
                     raise ValueError(
                         f"monomial {mono} has {mono.num_variables} variables, expected {n}"
                     )
-                fval = float(value)
-                if abs(fval) > COEFFICIENT_TOLERANCE:
-                    coeffs[mono] = coeffs.get(mono, 0.0) + fval
-        self.coefficients: Dict[Monomial, float] = {
-            m: c for m, c in coeffs.items() if abs(c) > COEFFICIENT_TOLERANCE
-        }
+                rows[k] = mono.exponents
+                values[k] = float(value)
+            self._exponents, self._coefficients = _canonicalize_terms(rows, values)
+        else:
+            self._exponents, self._coefficients = _empty_terms(n)
+        self._coeff_view: Optional[Dict[Monomial, float]] = None
+
+    @classmethod
+    def _from_arrays(
+        cls,
+        variables: VariableVector,
+        exponents: np.ndarray,
+        coefficients: np.ndarray,
+        canonical: bool = False,
+    ) -> "Polynomial":
+        """Internal fast constructor from term arrays (bypasses dict parsing)."""
+        poly = cls.__new__(cls)
+        poly.variables = variables
+        if canonical:
+            poly._exponents, poly._coefficients = exponents, coefficients
+        else:
+            poly._exponents, poly._coefficients = _canonicalize_terms(
+                exponents, coefficients)
+        poly._coeff_view = None
+        return poly
+
+    # ------------------------------------------------------------------
+    # Array views
+    # ------------------------------------------------------------------
+    @property
+    def exponent_matrix(self) -> np.ndarray:
+        """The ``(m, n)`` integer exponent matrix (one row per term)."""
+        return self._exponents
+
+    @property
+    def coefficient_array(self) -> np.ndarray:
+        """The ``(m,)`` coefficient vector aligned with :attr:`exponent_matrix`."""
+        return self._coefficients
+
+    @property
+    def coefficients(self) -> Dict[Monomial, float]:
+        """The classic ``{Monomial: float}`` view (built lazily, cached)."""
+        if self._coeff_view is None:
+            self._coeff_view = {
+                Monomial(tuple(int(e) for e in row)): float(c)
+                for row, c in zip(self._exponents, self._coefficients)
+            }
+        return self._coeff_view
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
     def zero(cls, variables: Union[VariableVector, Sequence[Variable]]) -> "Polynomial":
-        return cls(variables, {})
+        if not isinstance(variables, VariableVector):
+            variables = VariableVector(variables)
+        return cls._from_arrays(variables, *_empty_terms(len(variables)), canonical=True)
 
     @classmethod
     def constant(
@@ -78,7 +183,16 @@ class Polynomial:
     ) -> "Polynomial":
         if not isinstance(variables, VariableVector):
             variables = VariableVector(variables)
-        return cls(variables, {Monomial.constant(len(variables)): float(value)})
+        n = len(variables)
+        fval = float(value)
+        if abs(fval) <= COEFFICIENT_TOLERANCE:
+            return cls.zero(variables)
+        return cls._from_arrays(
+            variables,
+            np.zeros((1, n), dtype=_EXPONENT_DTYPE),
+            np.array([fval]),
+            canonical=True,
+        )
 
     @classmethod
     def from_variable(cls, variable: Variable,
@@ -87,7 +201,9 @@ class Polynomial:
         if variables is None:
             variables = VariableVector([variable])
         index = variables.index(variable)
-        return cls(variables, {Monomial.unit(index, len(variables)): 1.0})
+        exps = np.zeros((1, len(variables)), dtype=_EXPONENT_DTYPE)
+        exps[0, index] = 1
+        return cls._from_arrays(variables, exps, np.array([1.0]), canonical=True)
 
     @classmethod
     def monomial(cls, variables: VariableVector, exponents: Sequence[int],
@@ -104,7 +220,9 @@ class Polynomial:
         """Build ``sum_k vector[k] * basis[k]``."""
         if len(basis) != len(vector):
             raise ValueError("basis and coefficient vector lengths differ")
-        return cls(variables, dict(zip(basis, (float(v) for v in vector))))
+        exps = np.array([m.exponents for m in basis], dtype=_EXPONENT_DTYPE).reshape(
+            len(basis), len(variables))
+        return cls._from_arrays(variables, exps, np.asarray(vector, dtype=float).copy())
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -115,18 +233,25 @@ class Polynomial:
 
     @property
     def degree(self) -> int:
-        if not self.coefficients:
+        if self._exponents.shape[0] == 0:
             return 0
-        return max(m.degree for m in self.coefficients)
+        return int(self._exponents.sum(axis=1).max())
 
     def is_zero(self, tolerance: float = COEFFICIENT_TOLERANCE) -> bool:
-        return all(abs(c) <= tolerance for c in self.coefficients.values())
+        if self._coefficients.size == 0:
+            return True
+        return bool(np.all(np.abs(self._coefficients) <= tolerance))
 
     def is_constant(self) -> bool:
-        return all(m.is_constant() for m in self.coefficients)
+        return self.degree == 0
 
     def constant_term(self) -> float:
-        return self.coefficients.get(Monomial.constant(self.num_variables), 0.0)
+        if self._exponents.shape[0] == 0:
+            return 0.0
+        mask = self._exponents.sum(axis=1) == 0
+        if not mask.any():
+            return 0.0
+        return float(self._coefficients[mask][0])
 
     def coefficient(self, monomial: Union[Monomial, Tuple[int, ...]]) -> float:
         if not isinstance(monomial, Monomial):
@@ -134,15 +259,16 @@ class Polynomial:
         return self.coefficients.get(monomial, 0.0)
 
     def monomials(self) -> Tuple[Monomial, ...]:
-        return tuple(sorted(self.coefficients, key=Monomial.sort_key))
+        # Terms are already stored in graded-lex order.
+        return tuple(self.coefficients)
 
     def max_abs_coefficient(self) -> float:
-        if not self.coefficients:
+        if self._coefficients.size == 0:
             return 0.0
-        return max(abs(c) for c in self.coefficients.values())
+        return float(np.abs(self._coefficients).max())
 
     def __len__(self) -> int:
-        return len(self.coefficients)
+        return self._coefficients.shape[0]
 
     # ------------------------------------------------------------------
     # Variable management
@@ -156,14 +282,11 @@ class Polynomial:
             if v not in variables:
                 raise ValueError(f"target variable vector does not contain {v}")
             mapping.append(variables.index(v))
-        n_new = len(variables)
-        new_coeffs: Dict[Monomial, float] = {}
-        for mono, coeff in self.coefficients.items():
-            exps = [0] * n_new
-            for old_idx, exp in enumerate(mono.exponents):
-                exps[mapping[old_idx]] = exp
-            new_coeffs[Monomial(tuple(exps))] = new_coeffs.get(Monomial(tuple(exps)), 0.0) + coeff
-        return Polynomial(variables, new_coeffs)
+        new_exps = np.zeros((self._exponents.shape[0], len(variables)),
+                            dtype=_EXPONENT_DTYPE)
+        if mapping:
+            new_exps[:, mapping] = self._exponents
+        return Polynomial._from_arrays(variables, new_exps, self._coefficients.copy())
 
     def _coerce(self, other: object) -> Optional["Polynomial"]:
         if isinstance(other, Polynomial):
@@ -190,16 +313,18 @@ class Polynomial:
         if other_poly is None:
             return NotImplemented
         left = self if other_poly.variables == self.variables else self.with_variables(other_poly.variables)
-        coeffs = dict(left.coefficients)
-        for mono, coeff in other_poly.coefficients.items():
-            coeffs[mono] = coeffs.get(mono, 0.0) + coeff
-        return Polynomial(left.variables, coeffs)
+        return Polynomial._from_arrays(
+            left.variables,
+            np.vstack([left._exponents, other_poly._exponents]),
+            np.concatenate([left._coefficients, other_poly._coefficients]),
+        )
 
     def __radd__(self, other: object) -> "Polynomial":
         return self.__add__(other)
 
     def __neg__(self) -> "Polynomial":
-        return Polynomial(self.variables, {m: -c for m, c in self.coefficients.items()})
+        return Polynomial._from_arrays(
+            self.variables, self._exponents, -self._coefficients, canonical=True)
 
     def __sub__(self, other: object) -> "Polynomial":
         other_poly = self._coerce(other)
@@ -212,19 +337,27 @@ class Polynomial:
 
     def __mul__(self, other: object) -> "Polynomial":
         if _is_number(other):
-            return Polynomial(
-                self.variables, {m: c * float(other) for m, c in self.coefficients.items()}
-            )
+            scale = float(other)
+            scaled = self._coefficients * scale
+            keep = np.abs(scaled) > COEFFICIENT_TOLERANCE
+            if keep.all():
+                return Polynomial._from_arrays(
+                    self.variables, self._exponents, scaled, canonical=True)
+            return Polynomial._from_arrays(
+                self.variables, self._exponents[keep], scaled[keep], canonical=True)
         other_poly = self._coerce(other)
         if other_poly is None:
             return NotImplemented
         left = self if other_poly.variables == self.variables else self.with_variables(other_poly.variables)
-        coeffs: Dict[Monomial, float] = {}
-        for m1, c1 in left.coefficients.items():
-            for m2, c2 in other_poly.coefficients.items():
-                prod = m1 * m2
-                coeffs[prod] = coeffs.get(prod, 0.0) + c1 * c2
-        return Polynomial(left.variables, coeffs)
+        m1 = left._exponents.shape[0]
+        m2 = other_poly._exponents.shape[0]
+        if m1 == 0 or m2 == 0:
+            return Polynomial.zero(left.variables)
+        prod_exps = (left._exponents[:, None, :] + other_poly._exponents[None, :, :]
+                     ).reshape(m1 * m2, -1)
+        prod_coeffs = np.multiply.outer(left._coefficients,
+                                        other_poly._coefficients).ravel()
+        return Polynomial._from_arrays(left.variables, prod_exps, prod_coeffs)
 
     def __rmul__(self, other: object) -> "Polynomial":
         return self.__mul__(other)
@@ -268,12 +401,14 @@ class Polynomial:
     # ------------------------------------------------------------------
     def differentiate(self, variable: Union[Variable, int]) -> "Polynomial":
         index = variable if isinstance(variable, int) else self.variables.index(variable)
-        coeffs: Dict[Monomial, float] = {}
-        for mono, coeff in self.coefficients.items():
-            factor, dmono = mono.differentiate(index)
-            if factor:
-                coeffs[dmono] = coeffs.get(dmono, 0.0) + coeff * factor
-        return Polynomial(self.variables, coeffs)
+        powers = self._exponents[:, index]
+        keep = powers > 0
+        if not keep.any():
+            return Polynomial.zero(self.variables)
+        new_exps = self._exponents[keep].copy()
+        new_exps[:, index] -= 1
+        new_coeffs = self._coefficients[keep] * powers[keep]
+        return Polynomial._from_arrays(self.variables, new_exps, new_coeffs)
 
     def gradient(self) -> Tuple["Polynomial", ...]:
         return tuple(self.differentiate(i) for i in range(self.num_variables))
@@ -308,46 +443,46 @@ class Polynomial:
         return self.evaluate(args)
 
     def evaluate(self, point: Sequence[float]) -> float:
-        point = [float(p) for p in point]
-        if len(point) != self.num_variables:
+        point = np.asarray(point, dtype=float).ravel()
+        if point.shape[0] != self.num_variables:
             raise ValueError(
-                f"point has {len(point)} coordinates, polynomial expects {self.num_variables}"
+                f"point has {point.shape[0]} coordinates, polynomial expects {self.num_variables}"
             )
-        total = 0.0
-        for mono, coeff in self.coefficients.items():
-            total += coeff * mono.evaluate(point)
-        return total
+        if self._coefficients.size == 0:
+            return 0.0
+        return float(np.prod(point ** self._exponents, axis=1) @ self._coefficients)
 
     def evaluate_many(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate at an ``(N, n)`` batch of points in one vectorised pass."""
         points = np.asarray(points, dtype=float)
         if points.ndim == 1:
             points = points.reshape(1, -1)
-        result = np.zeros(points.shape[0])
-        for mono, coeff in self.coefficients.items():
-            result += coeff * mono.evaluate_many(points)
-        return result
+        if points.shape[1] != self.num_variables:
+            raise ValueError("point dimension mismatch")
+        if self._coefficients.size == 0:
+            return np.zeros(points.shape[0])
+        powers = np.prod(points[:, None, :] ** self._exponents[None, :, :], axis=2)
+        return powers @ self._coefficients
 
     def substitute(self, substitutions: Mapping[Variable, Union[Number, "Polynomial"]]) -> "Polynomial":
         """Substitute variables by numbers or polynomials (composition)."""
         # Express every substitution target over a common variable vector.
         remaining = [v for v in self.variables if v not in substitutions]
-        target_vars = VariableVector(remaining) if remaining else None
-        poly_subs: Dict[int, Polynomial] = {}
+        poly_subs: Dict[int, Tuple[str, object]] = {}
         for var, value in substitutions.items():
             if var not in self.variables:
                 continue
             idx = self.variables.index(var)
             if _is_number(value):
-                sub_poly = None
-                poly_subs[idx] = ("const", float(value))  # type: ignore[assignment]
+                poly_subs[idx] = ("const", float(value))
             else:
-                poly_subs[idx] = ("poly", value)  # type: ignore[assignment]
+                poly_subs[idx] = ("poly", value)
 
         # Determine the output variable vector: all remaining original vars plus
         # any variables introduced by polynomial substitutions.
         out_vars = VariableVector(remaining) if remaining else VariableVector([])
         for idx, entry in poly_subs.items():
-            kind, value = entry  # type: ignore[misc]
+            kind, value = entry
             if kind == "poly":
                 out_vars = out_vars.union(value.variables)
         if len(out_vars) == 0:
@@ -427,15 +562,14 @@ class Polynomial:
 
     def truncate(self, tolerance: float) -> "Polynomial":
         """Drop coefficients with magnitude below ``tolerance``."""
-        return Polynomial(
-            self.variables,
-            {m: c for m, c in self.coefficients.items() if abs(c) > tolerance},
-        )
+        keep = np.abs(self._coefficients) > tolerance
+        return Polynomial._from_arrays(
+            self.variables, self._exponents[keep], self._coefficients[keep],
+            canonical=True)
 
     def round_coefficients(self, decimals: int = 12) -> "Polynomial":
-        return Polynomial(
-            self.variables, {m: round(c, decimals) for m, c in self.coefficients.items()}
-        )
+        return Polynomial._from_arrays(
+            self.variables, self._exponents, np.round(self._coefficients, decimals))
 
     # ------------------------------------------------------------------
     # Quadratic-form helpers
@@ -448,15 +582,12 @@ class Polynomial:
         if matrix.shape != (n, n):
             raise ValueError(f"matrix shape {matrix.shape} does not match {n} variables")
         matrix = 0.5 * (matrix + matrix.T)
-        coeffs: Dict[Monomial, float] = {}
-        for i in range(n):
-            for j in range(n):
-                exps = [0] * n
-                exps[i] += 1
-                exps[j] += 1
-                mono = Monomial(tuple(exps))
-                coeffs[mono] = coeffs.get(mono, 0.0) + matrix[i, j]
-        return cls(variables, coeffs)
+        ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        exps = np.zeros((n * n, n), dtype=_EXPONENT_DTYPE)
+        flat = np.arange(n * n)
+        np.add.at(exps, (flat, ii.ravel()), 1)
+        np.add.at(exps, (flat, jj.ravel()), 1)
+        return cls._from_arrays(variables, exps, matrix.ravel().copy())
 
     @classmethod
     def from_affine(cls, variables: VariableVector, linear: Sequence[float],
@@ -465,10 +596,10 @@ class Polynomial:
         n = len(variables)
         if len(linear) != n:
             raise ValueError("linear coefficient dimension mismatch")
-        coeffs: Dict[Monomial, float] = {Monomial.constant(n): float(constant)}
-        for i, c in enumerate(linear):
-            coeffs[Monomial.unit(i, n)] = float(c)
-        return cls(variables, coeffs)
+        exps = np.vstack([np.zeros((1, n), dtype=_EXPONENT_DTYPE),
+                          np.eye(n, dtype=_EXPONENT_DTYPE)])
+        coeffs = np.concatenate([[float(constant)], np.asarray(linear, dtype=float)])
+        return cls._from_arrays(variables, exps, coeffs)
 
     # ------------------------------------------------------------------
     # Display
@@ -494,6 +625,70 @@ class Polynomial:
             parts.append(term)
         text = " + ".join(parts)
         return text.replace("+ -", "- ")
+
+
+class PolynomialStack:
+    """Several polynomials over shared variables, evaluated in one array pass.
+
+    The stack merges the exponent rows of all component polynomials into one
+    ``(M, n)`` matrix and a ``(k, M)`` coefficient matrix, so evaluating a
+    whole polynomial vector field (or a set of level-set functions) at ``N``
+    points costs a single ``(N, M) @ (M, k)`` product instead of ``k``
+    separate dictionary walks.
+    """
+
+    __slots__ = ("variables", "_exponents", "_coeff_matrix")
+
+    def __init__(self, polynomials: Sequence[Polynomial],
+                 variables: Optional[VariableVector] = None):
+        polynomials = list(polynomials)
+        if not polynomials:
+            raise ValueError("PolynomialStack needs at least one polynomial")
+        if variables is None:
+            variables = polynomials[0].variables
+            for poly in polynomials[1:]:
+                variables = variables.union(poly.variables)
+        aligned = [p.with_variables(variables) for p in polynomials]
+        self.variables = variables
+        n = len(variables)
+        stacked = np.vstack([p.exponent_matrix for p in aligned]) if aligned \
+            else np.zeros((0, n), dtype=_EXPONENT_DTYPE)
+        if stacked.shape[0] == 0:
+            self._exponents = np.zeros((1, n), dtype=_EXPONENT_DTYPE)
+            self._coeff_matrix = np.zeros((len(aligned), 1))
+            return
+        unique, inverse = group_exponent_rows(stacked)
+        self._exponents = unique
+        self._coeff_matrix = np.zeros((len(aligned), unique.shape[0]))
+        offset = 0
+        for k, poly in enumerate(aligned):
+            count = poly.exponent_matrix.shape[0]
+            self._coeff_matrix[k, inverse[offset:offset + count]] = \
+                poly.coefficient_array
+            offset += count
+
+    @property
+    def num_polynomials(self) -> int:
+        return self._coeff_matrix.shape[0]
+
+    def evaluate(self, point: Sequence[float]) -> np.ndarray:
+        """Values of all stacked polynomials at one point, shape ``(k,)``."""
+        point = np.asarray(point, dtype=float).ravel()
+        if point.shape[0] != len(self.variables):
+            raise ValueError(
+                f"point has {point.shape[0]} coordinates, stack expects {len(self.variables)}"
+            )
+        return self._coeff_matrix @ np.prod(point ** self._exponents, axis=1)
+
+    def evaluate_many(self, points: np.ndarray) -> np.ndarray:
+        """Values at an ``(N, n)`` batch of points, shape ``(N, k)``."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        if points.shape[1] != len(self.variables):
+            raise ValueError("point dimension mismatch")
+        powers = np.prod(points[:, None, :] ** self._exponents[None, :, :], axis=2)
+        return powers @ self._coeff_matrix.T
 
 
 def polynomial_vector(variables: VariableVector,

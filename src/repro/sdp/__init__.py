@@ -17,7 +17,7 @@ from .cones import (
 from .problem import ConicProblem, ConicProblemBuilder, VariableBlock
 from .result import SolveHistory, SolverResult, SolverStatus
 from .scaling import ScalingData, drop_zero_rows, equilibrate
-from .admm import ADMMConicSolver, ADMMSettings
+from .admm import ADMMConicSolver, ADMMSettings, WarmStart, unpack_warm_start
 from .projection import AlternatingProjectionSolver, ProjectionSettings
 from .solver import (
     DEFAULT_BACKEND,
@@ -47,6 +47,8 @@ __all__ = [
     "drop_zero_rows",
     "ADMMConicSolver",
     "ADMMSettings",
+    "WarmStart",
+    "unpack_warm_start",
     "AlternatingProjectionSolver",
     "ProjectionSettings",
     "available_backends",

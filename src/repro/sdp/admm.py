@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -32,6 +32,40 @@ from .cones import project_onto_cone
 from .problem import ConicProblem
 from .result import SolveHistory, SolverResult, SolverStatus
 from .scaling import drop_zero_rows, equilibrate
+
+WarmStart = Union[Dict[str, np.ndarray], Tuple[np.ndarray, np.ndarray, np.ndarray]]
+
+
+def unpack_warm_start(warm_start: Optional[WarmStart],
+                      num_variables: int) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Normalise a warm start into ``(x, z, u)`` arrays, or ``None``.
+
+    Accepts a dict with ``x``/``z``/``u`` keys (the ``warm_start_data`` dict
+    attached to :class:`SolverResult`), a plain 3-tuple, or a previous
+    :class:`SolverResult`.  Silently rejects starts whose dimension does not
+    match the problem (a sequential solve with a different structure).
+    """
+    if warm_start is None:
+        return None
+    if isinstance(warm_start, SolverResult):
+        warm_start = warm_start.info.get("warm_start_data")  # type: ignore[assignment]
+        if warm_start is None:
+            return None
+    if isinstance(warm_start, dict):
+        parts = (warm_start.get("x"), warm_start.get("z"), warm_start.get("u"))
+    else:
+        parts = tuple(warm_start)  # type: ignore[assignment]
+        if len(parts) != 3:
+            return None
+    arrays = []
+    for part in parts:
+        if part is None:
+            return None
+        arr = np.asarray(part, dtype=float).ravel()
+        if arr.shape[0] != num_variables:
+            return None
+        arrays.append(arr.copy())
+    return arrays[0], arrays[1], arrays[2]
 
 
 @dataclass
@@ -60,7 +94,16 @@ class ADMMConicSolver:
         self.settings = settings or ADMMSettings()
 
     # ------------------------------------------------------------------
-    def solve(self, problem: ConicProblem) -> SolverResult:
+    def solve(self, problem: ConicProblem,
+              warm_start: Optional[WarmStart] = None) -> SolverResult:
+        """Solve ``problem``; optionally warm-start ``(x, z, u)``.
+
+        Warm starts come from the ``warm_start_data`` entry of a previous
+        :class:`SolverResult` on a structurally identical problem (sequential
+        level-set bisection queries, parameter sweeps).  Row equilibration
+        only rescales the equality rows, so primal iterates transfer between
+        scaled problems unchanged.
+        """
         start = time.perf_counter()
         settings = self.settings
         original = problem
@@ -100,9 +143,13 @@ class ADMMConicSolver:
                 solve_time=time.perf_counter() - start,
             )
 
-        x = np.zeros(n)
-        z = np.zeros(n)
-        u = np.zeros(n)
+        initial = unpack_warm_start(warm_start, n)
+        if initial is not None:
+            x, z, u = initial
+        else:
+            x = np.zeros(n)
+            z = np.zeros(n)
+            u = np.zeros(n)
         history = SolveHistory()
         status = SolverStatus.MAX_ITERATIONS
         # Stall detection: track the best primal residual seen so far and when it
@@ -181,6 +228,8 @@ class ADMMConicSolver:
                 "rho_final": rho,
                 "history": history,
                 "scaled": scaling is not None,
+                "warm_started": initial is not None,
+                "warm_start_data": {"x": x.copy(), "z": z.copy(), "u": u.copy()},
             },
         )
         if settings.verbose:  # pragma: no cover - logging only

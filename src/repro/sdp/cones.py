@@ -6,12 +6,15 @@ The solver works over the symmetric cone
 
 where PSD blocks are stored in scaled-vector (``svec``) form so that the
 Euclidean inner product on vectors equals the Frobenius inner product on
-matrices.
+matrices.  All svec/smat conversions run through cached upper-triangle index
+tables, and cone projections batch equal-size PSD blocks through a single
+stacked ``eigh`` call — the per-iteration hot path of the ADMM backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -24,21 +27,29 @@ def svec_dim(order: int) -> int:
     return order * (order + 1) // 2
 
 
+@lru_cache(maxsize=512)
+def _triu_cache(order: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(row, col, scale) index tables for the svec layout of one order.
+
+    The svec layout walks the upper triangle row-major — (0,0), (0,1), ...,
+    (0,n-1), (1,1), ... — which is exactly ``np.triu_indices`` order.  The
+    scale is 1 on the diagonal and sqrt(2) off it.
+    """
+    rows, cols = np.triu_indices(order)
+    scale = np.where(rows == cols, 1.0, SQRT2)
+    for arr in (rows, cols, scale):
+        arr.setflags(write=False)
+    return rows, cols, scale
+
+
 def svec(matrix: np.ndarray) -> np.ndarray:
     """Scaled vectorisation of a symmetric matrix (upper triangle, off-diag * sqrt 2)."""
     matrix = np.asarray(matrix, dtype=float)
     order = matrix.shape[0]
     if matrix.shape != (order, order):
         raise ValueError("svec expects a square matrix")
-    out = np.empty(svec_dim(order))
-    idx = 0
-    for i in range(order):
-        out[idx] = matrix[i, i]
-        idx += 1
-        for j in range(i + 1, order):
-            out[idx] = SQRT2 * 0.5 * (matrix[i, j] + matrix[j, i])
-            idx += 1
-    return out
+    rows, cols, scale = _triu_cache(order)
+    return 0.5 * (matrix[rows, cols] + matrix[cols, rows]) * scale
 
 
 def smat(vector: np.ndarray, order: int) -> np.ndarray:
@@ -48,27 +59,36 @@ def smat(vector: np.ndarray, order: int) -> np.ndarray:
         raise ValueError(
             f"vector of length {vector.shape[0]} is not an svec of order {order}"
         )
+    rows, cols, scale = _triu_cache(order)
+    values = vector / scale
     matrix = np.zeros((order, order))
-    idx = 0
-    for i in range(order):
-        matrix[i, i] = vector[idx]
-        idx += 1
-        for j in range(i + 1, order):
-            value = vector[idx] / SQRT2
-            matrix[i, j] = value
-            matrix[j, i] = value
-            idx += 1
+    matrix[rows, cols] = values
+    matrix[cols, rows] = values
     return matrix
+
+
+def smat_many(vectors: np.ndarray, order: int) -> np.ndarray:
+    """Batched :func:`smat`: ``(k, svec_dim)`` svecs to ``(k, order, order)``."""
+    vectors = np.asarray(vectors, dtype=float)
+    rows, cols, scale = _triu_cache(order)
+    values = vectors / scale
+    matrices = np.zeros((vectors.shape[0], order, order))
+    matrices[:, rows, cols] = values
+    matrices[:, cols, rows] = values
+    return matrices
+
+
+def svec_many(matrices: np.ndarray, order: int) -> np.ndarray:
+    """Batched :func:`svec`: ``(k, order, order)`` matrices to ``(k, svec_dim)``."""
+    matrices = np.asarray(matrices, dtype=float)
+    rows, cols, scale = _triu_cache(order)
+    return 0.5 * (matrices[:, rows, cols] + matrices[:, cols, rows]) * scale
 
 
 def svec_indices(order: int) -> List[Tuple[int, int]]:
     """The (row, col) pair addressed by each svec position."""
-    pairs = []
-    for i in range(order):
-        pairs.append((i, i))
-        for j in range(i + 1, order):
-            pairs.append((i, j))
-    return pairs
+    rows, cols, _ = _triu_cache(order)
+    return [(int(i), int(j)) for i, j in zip(rows, cols)]
 
 
 def svec_entry_coefficient(i: int, j: int) -> float:
@@ -109,6 +129,30 @@ class ConeDims:
                 f"psd blocks={list(self.psd)} (total dim={self.total})")
 
 
+@lru_cache(maxsize=256)
+def _psd_block_groups(dims: ConeDims) -> Tuple[Tuple[int, np.ndarray], ...]:
+    """Group the PSD blocks of ``dims`` by matrix order.
+
+    Returns ``(order, gather)`` pairs where ``gather`` is a ``(k, svec_dim)``
+    index matrix selecting the svec coordinates of the ``k`` same-order blocks
+    from the stacked variable vector.  Equal-size blocks (the common case:
+    every S-procedure multiplier of a mode shares one Gram order) are then
+    projected with one stacked ``eigh`` instead of ``k`` separate calls.
+    """
+    starts: dict = {}
+    offset = dims.free + dims.nonneg
+    for order in dims.psd:
+        starts.setdefault(order, []).append(offset)
+        offset += svec_dim(order)
+    groups = []
+    for order in sorted(starts):
+        base = np.asarray(starts[order], dtype=np.int64)
+        gather = base[:, None] + np.arange(svec_dim(order), dtype=np.int64)[None, :]
+        gather.setflags(write=False)
+        groups.append((order, gather))
+    return tuple(groups)
+
+
 def project_psd_svec(vector: np.ndarray, order: int) -> Tuple[np.ndarray, float]:
     """Project an svec onto the PSD cone; also return the smallest eigenvalue."""
     matrix = smat(vector, order)
@@ -116,6 +160,18 @@ def project_psd_svec(vector: np.ndarray, order: int) -> Tuple[np.ndarray, float]
     clipped = np.clip(eigenvalues, 0.0, None)
     projected = (eigenvectors * clipped) @ eigenvectors.T
     return svec(projected), float(eigenvalues.min()) if eigenvalues.size else 0.0
+
+
+def _project_psd_batch(vectors: np.ndarray, order: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Project ``(k, svec_dim)`` svecs onto the PSD cone with one stacked eigh.
+
+    Returns the projected svecs and the per-block minimum eigenvalues.
+    """
+    matrices = smat_many(vectors, order)
+    eigenvalues, eigenvectors = np.linalg.eigh(matrices)
+    clipped = np.clip(eigenvalues, 0.0, None)
+    projected = (eigenvectors * clipped[:, None, :]) @ eigenvectors.swapaxes(1, 2)
+    return svec_many(projected, order), eigenvalues[:, 0]
 
 
 def project_onto_cone(vector: np.ndarray, dims: ConeDims) -> np.ndarray:
@@ -126,23 +182,23 @@ def project_onto_cone(vector: np.ndarray, dims: ConeDims) -> np.ndarray:
             f"vector length {vector.shape[0]} does not match cone dimension {dims.total}"
         )
     out = vector.copy()
-    free_slice, nonneg_slice, psd_slices = dims.slices()
+    nonneg_slice = slice(dims.free, dims.free + dims.nonneg)
     out[nonneg_slice] = np.clip(vector[nonneg_slice], 0.0, None)
-    for order, sl in zip(dims.psd, psd_slices):
-        out[sl], _ = project_psd_svec(vector[sl], order)
+    for order, gather in _psd_block_groups(dims):
+        projected, _ = _project_psd_batch(vector[gather], order)
+        out[gather] = projected
     return out
 
 
 def cone_violation(vector: np.ndarray, dims: ConeDims) -> float:
     """Infinity-norm distance of ``vector`` from ``K`` (0 when inside)."""
     vector = np.asarray(vector, dtype=float)
-    free_slice, nonneg_slice, psd_slices = dims.slices()
     violation = 0.0
-    nonneg_part = vector[nonneg_slice]
+    nonneg_part = vector[dims.free:dims.free + dims.nonneg]
     if nonneg_part.size:
         violation = max(violation, float(np.clip(-nonneg_part, 0.0, None).max(initial=0.0)))
-    for order, sl in zip(dims.psd, psd_slices):
-        matrix = smat(vector[sl], order)
-        min_eig = float(np.linalg.eigvalsh(matrix).min()) if order else 0.0
+    for order, gather in _psd_block_groups(dims):
+        eigenvalues = np.linalg.eigvalsh(smat_many(vector[gather], order))
+        min_eig = float(eigenvalues[:, 0].min())
         violation = max(violation, max(0.0, -min_eig))
     return violation

@@ -7,8 +7,10 @@ Standard form used throughout the library::
                 x in K = R^free  x  R_+^nonneg  x  S_+^{k_1} x ... x S_+^{k_p}
 
 PSD blocks are stored in svec coordinates.  The :class:`ConicProblemBuilder`
-lets the SOS layer allocate variable blocks and add sparse equality rows
-without worrying about offsets.
+lets the SOS layer allocate variable blocks and add equality rows — one at a
+time through a dict interface, or in bulk as COO triplet batches — without
+worrying about offsets.  Finalisation maps all recorded triplets to global
+column indices in a single vectorised pass.
 """
 
 from __future__ import annotations
@@ -92,26 +94,42 @@ class VariableBlock:
         return f"VariableBlock({self.kind}, name={self.name!r}, size={self.size})"
 
 
+class _TripletBatch:
+    """A bulk batch of equality rows recorded as per-block COO triplets."""
+
+    __slots__ = ("row_base", "num_rows", "rhs", "entries")
+
+    def __init__(self, row_base: int, num_rows: int, rhs: np.ndarray,
+                 entries: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]]):
+        self.row_base = row_base
+        self.num_rows = num_rows
+        self.rhs = rhs
+        self.entries = entries  # (block_id, local_rows, local_indices, values)
+
+
 class ConicProblemBuilder:
     """Incrementally assemble a :class:`ConicProblem`.
 
     Blocks are allocated in any order; at :meth:`build` time they are laid out
     in the canonical order (free, nonneg, psd) and all recorded equality-row
-    entries are mapped to the final column indices.
+    triplets are mapped to the final column indices in one vectorised pass.
+    The built problem is cached until the builder is mutated again.
     """
 
     def __init__(self) -> None:
         self._free_blocks: List[VariableBlock] = []
         self._nonneg_blocks: List[VariableBlock] = []
         self._psd_blocks: List[VariableBlock] = []
-        self._rows: List[Dict[Tuple[int, int], float]] = []  # (block_id, local_idx) -> coeff
-        self._rhs: List[float] = []
+        self._batches: List[_TripletBatch] = []
+        self._num_rows: int = 0
         self._cost: Dict[Tuple[int, int], float] = {}
         self._blocks: List[VariableBlock] = []
+        self._built: Optional[ConicProblem] = None
 
     # -- block allocation ---------------------------------------------------
     def _register(self, block: VariableBlock) -> int:
         self._blocks.append(block)
+        self._built = None
         return len(self._blocks) - 1
 
     def add_free_block(self, size: int, name: str = "") -> Tuple[int, VariableBlock]:
@@ -143,13 +161,59 @@ class ConicProblemBuilder:
         ``local_index`` indexes into the block's svec for PSD blocks.
         """
         cleaned = {key: float(val) for key, val in entries.items() if float(val) != 0.0}
-        self._rows.append(cleaned)
-        self._rhs.append(float(rhs))
-        return len(self._rows) - 1
+        per_block: Dict[int, Tuple[List[int], List[float]]] = {}
+        for (block_id, local), value in cleaned.items():
+            locals_, values_ = per_block.setdefault(block_id, ([], []))
+            locals_.append(local)
+            values_.append(value)
+        triplets = [
+            (block_id,
+             np.zeros(len(locals_), dtype=np.int64),
+             np.asarray(locals_, dtype=np.int64),
+             np.asarray(values_, dtype=float))
+            for block_id, (locals_, values_) in per_block.items()
+        ]
+        return self.add_equality_rows(np.array([float(rhs)]), triplets)
+
+    def add_equality_rows(
+        self,
+        rhs: np.ndarray,
+        entries: Sequence[Tuple[int, np.ndarray, np.ndarray, np.ndarray]],
+    ) -> int:
+        """Bulk-add ``len(rhs)`` equality rows from COO triplets.
+
+        Each entry group is ``(block_id, rows, locals, values)`` where ``rows``
+        are 0-based indices *within this batch* and ``locals`` index into the
+        block (svec coordinates for PSD blocks).  Duplicate (row, column)
+        triplets are summed at finalisation.  Returns the global index of the
+        batch's first row.
+        """
+        rhs = np.asarray(rhs, dtype=float).ravel()
+        groups: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        for block_id, rows, locals_, values in entries:
+            rows = np.asarray(rows, dtype=np.int64).ravel()
+            locals_ = np.asarray(locals_, dtype=np.int64).ravel()
+            values = np.asarray(values, dtype=float).ravel()
+            if not (rows.shape == locals_.shape == values.shape):
+                raise ValueError("triplet arrays must have identical lengths")
+            if rows.size and (rows.min() < 0 or rows.max() >= rhs.shape[0]):
+                raise IndexError("batch row index out of range")
+            block = self._blocks[block_id]
+            if locals_.size and (locals_.min() < 0 or locals_.max() >= block.size):
+                raise IndexError(
+                    f"local index out of range for block {block!r}"
+                )
+            groups.append((block_id, rows, locals_, values))
+        base = self._num_rows
+        self._batches.append(_TripletBatch(base, rhs.shape[0], rhs, groups))
+        self._num_rows += rhs.shape[0]
+        self._built = None
+        return base
 
     def add_cost(self, block_id: int, local_index: int, coefficient: float) -> None:
         key = (block_id, local_index)
         self._cost[key] = self._cost.get(key, 0.0) + float(coefficient)
+        self._built = None
 
     def psd_entry_local_index(self, block_id: int, i: int, j: int) -> Tuple[int, float]:
         """svec position and scaling of matrix entry (i, j) of a PSD block.
@@ -176,6 +240,8 @@ class ConicProblemBuilder:
 
     # -- finalisation ---------------------------------------------------------
     def build(self) -> ConicProblem:
+        if self._built is not None:
+            return self._built
         offset = 0
         for block in self._free_blocks:
             block.offset = offset
@@ -195,28 +261,32 @@ class ConicProblemBuilder:
         if dims.total != total:
             raise RuntimeError("internal error: block layout mismatch")
 
-        data: List[float] = []
-        row_idx: List[int] = []
-        col_idx: List[int] = []
-        for r, row in enumerate(self._rows):
-            for (block_id, local), coeff in row.items():
-                block = self._blocks[block_id]
-                if local < 0 or local >= block.size:
-                    raise IndexError(
-                        f"local index {local} out of range for block {block!r}"
-                    )
-                data.append(coeff)
-                row_idx.append(r)
-                col_idx.append(block.offset + local)
+        block_offsets = np.array([b.offset for b in self._blocks], dtype=np.int64) \
+            if self._blocks else np.zeros(0, dtype=np.int64)
+        data_parts: List[np.ndarray] = []
+        row_parts: List[np.ndarray] = []
+        col_parts: List[np.ndarray] = []
+        rhs_parts: List[np.ndarray] = []
+        for batch in self._batches:
+            rhs_parts.append(batch.rhs)
+            for block_id, rows, locals_, values in batch.entries:
+                row_parts.append(rows + batch.row_base)
+                col_parts.append(locals_ + block_offsets[block_id])
+                data_parts.append(values)
+        data = np.concatenate(data_parts) if data_parts else np.zeros(0)
+        row_idx = np.concatenate(row_parts) if row_parts else np.zeros(0, dtype=np.int64)
+        col_idx = np.concatenate(col_parts) if col_parts else np.zeros(0, dtype=np.int64)
         A = sp.csr_matrix(
-            (data, (row_idx, col_idx)), shape=(len(self._rows), total)
+            (data, (row_idx, col_idx)), shape=(self._num_rows, total)
         )
-        b = np.array(self._rhs, dtype=float)
+        A.sum_duplicates()
+        b = np.concatenate(rhs_parts) if rhs_parts else np.zeros(0)
         c = np.zeros(total)
         for (block_id, local), coeff in self._cost.items():
             block = self._blocks[block_id]
             c[block.offset + local] += coeff
-        return ConicProblem(c=c, A=A, b=b, dims=dims)
+        self._built = ConicProblem(c=c, A=A, b=b, dims=dims)
+        return self._built
 
     # -- solution unpacking ----------------------------------------------------
     def block_value(self, block_id: int, x: np.ndarray) -> np.ndarray:
@@ -236,7 +306,7 @@ class ConicProblemBuilder:
 
     @property
     def num_rows(self) -> int:
-        return len(self._rows)
+        return self._num_rows
 
     @property
     def blocks(self) -> Tuple[VariableBlock, ...]:

@@ -20,6 +20,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from .admm import WarmStart, unpack_warm_start
 from .cones import project_onto_cone
 from .problem import ConicProblem
 from .result import SolverResult, SolverStatus
@@ -46,7 +47,8 @@ class AlternatingProjectionSolver:
     def __init__(self, settings: Optional[ProjectionSettings] = None):
         self.settings = settings or ProjectionSettings()
 
-    def solve(self, problem: ConicProblem) -> SolverResult:
+    def solve(self, problem: ConicProblem,
+              warm_start: Optional[WarmStart] = None) -> SolverResult:
         start = time.perf_counter()
         if np.any(problem.c != 0.0):
             raise ValueError(
@@ -83,7 +85,8 @@ class AlternatingProjectionSolver:
             def project_affine(point: np.ndarray) -> np.ndarray:
                 return point
 
-        x = np.zeros(n)
+        initial = unpack_warm_start(warm_start, n)
+        x = initial[1] if initial is not None else np.zeros(n)
         best_gap = np.inf
         best_gap_at = 0
         status = SolverStatus.MAX_ITERATIONS
@@ -115,5 +118,10 @@ class AlternatingProjectionSolver:
             cone_violation=violation,
             iterations=iteration,
             solve_time=time.perf_counter() - start,
-            info={"backend": "alternating_projection"},
+            info={
+                "backend": "alternating_projection",
+                "warm_started": initial is not None,
+                "warm_start_data": {"x": x.copy(), "z": x.copy(),
+                                    "u": np.zeros(n)},
+            },
         )

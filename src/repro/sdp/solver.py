@@ -7,9 +7,10 @@ numerical engine without touching the verification code.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, Optional, Union
 
-from .admm import ADMMConicSolver, ADMMSettings
+from .admm import ADMMConicSolver, ADMMSettings, WarmStart
 from .problem import ConicProblem
 from .projection import AlternatingProjectionSolver, ProjectionSettings
 from .result import SolverResult
@@ -59,7 +60,23 @@ def make_solver(backend: Union[str, object, None] = None, **settings):
 
 def solve_conic_problem(problem: ConicProblem,
                         backend: Union[str, object, None] = None,
+                        warm_start: Optional[WarmStart] = None,
                         **settings) -> SolverResult:
-    """Solve a conic problem with the requested backend."""
+    """Solve a conic problem with the requested backend.
+
+    ``warm_start`` is forwarded to backends that support it (the built-in ADMM
+    and alternating-projection solvers); other backends are called without it.
+    Pass the ``warm_start_data`` dict from a previous result on a structurally
+    identical problem to accelerate sequential solves.
+    """
     solver = make_solver(backend, **settings)
+    if warm_start is not None and _accepts_warm_start(solver):
+        return solver.solve(problem, warm_start=warm_start)
     return solver.solve(problem)
+
+
+def _accepts_warm_start(solver: object) -> bool:
+    try:
+        return "warm_start" in inspect.signature(solver.solve).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False

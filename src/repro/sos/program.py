@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -30,6 +31,7 @@ from ..polynomial import (
     Polynomial,
     VariableVector,
     gram_basis_for_degree,
+    gram_product_table,
     monomial_basis,
 )
 from ..sdp import (
@@ -39,6 +41,7 @@ from ..sdp import (
     smat,
     solve_conic_problem,
 )
+from ..sdp.cones import SQRT2
 
 PolyExpr = Union[ParametricPolynomial, Polynomial]
 ScalarExpr = Union[LinExpr, DecisionVariable, float, int]
@@ -46,6 +49,58 @@ ScalarExpr = Union[LinExpr, DecisionVariable, float, int]
 
 class SOSProgramError(RuntimeError):
     """Raised when an SOS program is malformed or cannot be compiled."""
+
+
+@dataclass(frozen=True)
+class _SOSRowPlan:
+    """Precomputed coefficient-matching layout for one (basis, support) pair.
+
+    The equality rows of an SOS constraint are one per monomial in the union
+    of the Gram product support and the expression support; the Gram side of
+    every row is a pure function of that union, so it is assembled once as COO
+    triplets and cached.  A recompile with the same structure only has to fill
+    in the numeric coefficients.
+    """
+
+    monomials: Tuple[Monomial, ...]
+    row_of: Mapping[Monomial, int]
+    pair_rows: np.ndarray      # row index of each upper-triangle Gram pair
+    pair_locals: np.ndarray    # svec-local column of each pair
+    pair_values: np.ndarray    # symmetric weight x svec scaling of each pair
+    is_product_row: np.ndarray  # rows reachable by the Gram expansion
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.monomials)
+
+
+@lru_cache(maxsize=1024)
+def _sos_row_plan(basis: Tuple[Monomial, ...],
+                  support: Tuple[Monomial, ...]) -> _SOSRowPlan:
+    table = gram_product_table(basis)
+    order = len(basis)
+    extra = [m for m in support if m not in table.product_index]
+    monomials = sorted(set(table.products) | set(extra), key=Monomial.sort_key)
+    row_of = {m: r for r, m in enumerate(monomials)}
+    product_rows = np.array([row_of[m] for m in table.products], dtype=np.int64)
+    pair_rows = product_rows[table.pair_product]
+    # svec layout: row i of the upper triangle starts after sum_{s<i}(order-s)
+    # entries, and the svec coordinate stores sqrt(2) * M_ij off the diagonal.
+    i, j = table.pair_i, table.pair_j
+    pair_locals = i * order - (i * (i - 1)) // 2 + (j - i)
+    pair_values = np.where(i == j, 1.0, table.pair_weight / SQRT2)
+    is_product_row = np.zeros(len(monomials), dtype=bool)
+    is_product_row[product_rows] = True
+    for arr in (pair_rows, pair_locals, pair_values, is_product_row):
+        arr.setflags(write=False)
+    return _SOSRowPlan(
+        monomials=tuple(monomials),
+        row_of=row_of,
+        pair_rows=pair_rows,
+        pair_locals=pair_locals,
+        pair_values=pair_values,
+        is_product_row=is_product_row,
+    )
 
 
 @dataclass
@@ -141,6 +196,12 @@ class SOSProgram:
         self._objective: Optional[LinExpr] = None
         self._objective_sense: str = "min"
         self._counter = 0
+        self._compiled: Optional[Tuple[ConicProblemBuilder,
+                                       Dict[DecisionVariable, Tuple[int, int]],
+                                       List[Tuple[SOSConstraint, int]]]] = None
+
+    def _invalidate(self) -> None:
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # Variable creation
@@ -153,6 +214,7 @@ class SOSProgram:
         """A single scalar decision variable."""
         var = DecisionVariable(name or self._fresh_name("d"))
         self._decision_variables[var.uid] = var
+        self._invalidate()
         return var
 
     def new_polynomial_variable(
@@ -173,6 +235,7 @@ class SOSProgram:
             dvar = DecisionVariable(f"{name}[{mono.to_string(variables)}]")
             self._decision_variables[dvar.uid] = dvar
             coeffs[mono] = LinExpr.from_variable(dvar)
+        self._invalidate()
         return ParametricPolynomial(variables, coeffs)
 
     def new_sos_polynomial(
@@ -221,6 +284,7 @@ class SOSProgram:
         constraint = SOSConstraint(name=name, expression=expr, basis=basis)
         self._register_expression_variables(expr)
         self._sos_constraints.append(constraint)
+        self._invalidate()
         return constraint
 
     def add_equality_constraint(self, expression: PolyExpr,
@@ -231,6 +295,7 @@ class SOSProgram:
         constraint = EqualityConstraint(name=name, expression=expr)
         self._register_expression_variables(expr)
         self._equality_constraints.append(constraint)
+        self._invalidate()
         return constraint
 
     def add_scalar_constraint(self, expression: ScalarExpr, sense: str = ">=",
@@ -244,6 +309,7 @@ class SOSProgram:
         for dvar in expr.coeffs:
             self._decision_variables.setdefault(dvar.uid, dvar)
         self._scalar_constraints.append(constraint)
+        self._invalidate()
         return constraint
 
     # ------------------------------------------------------------------
@@ -254,12 +320,14 @@ class SOSProgram:
         self._objective_sense = "min"
         for dvar in self._objective.coeffs:
             self._decision_variables.setdefault(dvar.uid, dvar)
+        self._invalidate()
 
     def maximize(self, objective: ScalarExpr) -> None:
         self._objective = LinExpr.coerce(objective)
         self._objective_sense = "max"
         for dvar in self._objective.coeffs:
             self._decision_variables.setdefault(dvar.uid, dvar)
+        self._invalidate()
 
     # ------------------------------------------------------------------
     # Compilation
@@ -272,11 +340,18 @@ class SOSProgram:
         """Build the conic problem.
 
         Returns the builder, a map from decision variable to (block id, local
-        index), and the list of (SOS constraint, PSD block id) pairs.
+        index), and the list of (SOS constraint, PSD block id) pairs.  The
+        result is memoised: recompiling an unmodified program is free, and the
+        per-(basis, support) Gram row plans are cached process-wide so that
+        structurally identical programs (parameter sweeps, bisection loops)
+        only refill numeric coefficients.
         """
+        if self._compiled is not None:
+            return self._compiled
         builder = ConicProblemBuilder()
         decision_order = self._decision_order()
         var_location: Dict[DecisionVariable, Tuple[int, int]] = {}
+        free_id = -1
         if decision_order:
             free_id, _ = builder.add_free_block(len(decision_order), name="decision")
             for local, dvar in enumerate(decision_order):
@@ -289,36 +364,58 @@ class SOSProgram:
 
         # Coefficient matching for SOS constraints:
         #   sum_{(i,j): z_i z_j = m} Q_ij  ==  c_m(d)      for every monomial m.
+        # The Gram side comes from the cached COO row plan; only the numeric
+        # right-hand sides and decision-variable coefficients are filled here.
         for constraint, block_id in sos_blocks:
-            basis = constraint.basis
             expr = constraint.expression
-            support: Dict[Monomial, Dict[Tuple[int, int], float]] = {}
-            for i in range(len(basis)):
-                for j in range(i, len(basis)):
-                    prod = basis[i] * basis[j]
-                    local, coeff = builder.psd_entry_local_index(block_id, i, j)
-                    # The Gram expansion contributes Q_ij + Q_ji = 2 M_ij for i != j.
-                    weight = 1.0 if i == j else 2.0
-                    entry_map = support.setdefault(prod, {})
-                    key = (block_id, local)
-                    entry_map[key] = entry_map.get(key, 0.0) + weight * coeff
-            all_monomials = set(support) | set(expr.coefficients)
-            for mono in sorted(all_monomials, key=Monomial.sort_key):
-                entries: Dict[Tuple[int, int], float] = dict(support.get(mono, {}))
-                coeff_expr = expr.coefficient(mono)
-                rhs = coeff_expr.constant
-                for dvar, a in coeff_expr.coeffs.items():
-                    loc = var_location[dvar]
-                    entries[loc] = entries.get(loc, 0.0) - a
-                if not entries:
-                    if abs(rhs) > 1e-12:
+            support = tuple(sorted(expr.coefficients, key=Monomial.sort_key))
+            plan = _sos_row_plan(constraint.basis, support)
+            rhs = np.zeros(plan.num_rows)
+            keep = np.ones(plan.num_rows, dtype=bool)
+            free_rows: List[int] = []
+            free_locals: List[int] = []
+            free_values: List[float] = []
+            for mono in support:
+                coeff_expr = expr.coefficients[mono]
+                row = plan.row_of[mono]
+                rhs[row] = coeff_expr.constant
+                coeffs = coeff_expr.coeffs
+                if coeffs:
+                    if len(coeffs) == 1:
+                        ((dvar, a),) = coeffs.items()
+                        free_rows.append(row)
+                        free_locals.append(var_location[dvar][1])
+                        free_values.append(-a)
+                    else:
+                        for dvar in sorted(coeffs, key=lambda d: d.uid):
+                            free_rows.append(row)
+                            free_locals.append(var_location[dvar][1])
+                            free_values.append(-coeffs[dvar])
+                elif not plan.is_product_row[row]:
+                    if abs(coeff_expr.constant) > 1e-12:
                         raise SOSProgramError(
                             f"SOS constraint {constraint.name!r}: monomial "
-                            f"{mono.to_string(expr.variables)} has fixed coefficient {rhs} "
-                            "but cannot be produced by the Gram basis"
+                            f"{mono.to_string(expr.variables)} has fixed coefficient "
+                            f"{coeff_expr.constant} but cannot be produced by the Gram basis"
                         )
-                    continue
-                builder.add_equality_row(entries, rhs)
+                    keep[row] = False
+            if keep.all():
+                row_map = None
+                batch_rhs = rhs
+                pair_rows = plan.pair_rows
+            else:
+                row_map = np.cumsum(keep) - 1
+                batch_rhs = rhs[keep]
+                pair_rows = row_map[plan.pair_rows]
+            triplets = [(block_id, pair_rows, plan.pair_locals, plan.pair_values)]
+            if free_rows:
+                mapped = np.asarray(free_rows, dtype=np.int64)
+                if row_map is not None:
+                    mapped = row_map[mapped]
+                triplets.append((free_id, mapped,
+                                 np.asarray(free_locals, dtype=np.int64),
+                                 np.asarray(free_values)))
+            builder.add_equality_rows(batch_rhs, triplets)
 
         # Polynomial equality constraints: every coefficient must vanish.
         for constraint in self._equality_constraints:
@@ -367,19 +464,28 @@ class SOSProgram:
                 block_id, local = var_location[dvar]
                 builder.add_cost(block_id, local, sign * a)
 
-        return builder, var_location, sos_blocks
+        self._compiled = (builder, var_location, sos_blocks)
+        return self._compiled
 
     # ------------------------------------------------------------------
     # Solve
     # ------------------------------------------------------------------
     def solve(self, backend: Union[str, object, None] = None,
+              warm_start: Optional[object] = None,
               **solver_settings) -> SOSSolution:
+        """Compile (memoised) and solve the program.
+
+        ``warm_start`` accepts the ``warm_start_data`` dict of a previous
+        solve on a structurally identical program (e.g. the previous level of
+        a bisection loop); it is forwarded to backends that support it.
+        """
         compile_start = time.perf_counter()
         builder, var_location, sos_blocks = self.compile()
         problem = builder.build()
         compile_time = time.perf_counter() - compile_start
 
-        result = solve_conic_problem(problem, backend=backend, **solver_settings)
+        result = solve_conic_problem(problem, backend=backend,
+                                     warm_start=warm_start, **solver_settings)
 
         assignment: Dict[DecisionVariable, float] = {}
         certificates: Dict[str, SOSCertificate] = {}

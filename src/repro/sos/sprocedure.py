@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..polynomial import ParametricPolynomial, Polynomial, VariableVector
 from .program import PolyExpr, SOSProgram
 
@@ -52,6 +54,26 @@ class SemialgebraicSet:
             if abs(poly.with_variables(self.variables).evaluate(full)) > tolerance:
                 return False
         return True
+
+    def contains_many(self, points: np.ndarray, tolerance: float = 1e-9) -> np.ndarray:
+        """Vectorised membership for an ``(m, n)`` array of points.
+
+        One :meth:`Polynomial.evaluate_many` pass per constraint instead of a
+        Python loop over points — the work-horse of sampling-based validation.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        inside = np.ones(points.shape[0], dtype=bool)
+        for poly in self.inequalities:
+            if not inside.any():
+                break
+            values = poly.with_variables(self.variables).evaluate_many(points)
+            inside &= values >= -tolerance
+        for poly in self.equalities:
+            if not inside.any():
+                break
+            values = poly.with_variables(self.variables).evaluate_many(points)
+            inside &= np.abs(values) <= tolerance
+        return inside
 
     def intersect(self, other: "SemialgebraicSet") -> "SemialgebraicSet":
         if other.variables != self.variables:

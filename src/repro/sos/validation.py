@@ -59,16 +59,13 @@ def sample_set(domain: SemialgebraicSet, bounds: Sequence[Tuple[float, float]],
                num_samples: int, seed: int = 0,
                max_attempts: int = 20) -> np.ndarray:
     """Rejection-sample points of a semialgebraic set inside a bounding box."""
-    collected = []
+    collected: list = []
     attempt = 0
     needed = num_samples
     while needed > 0 and attempt < max_attempts:
         candidates = sample_box(bounds, max(needed * 4, 64), seed=seed + attempt)
-        for point in candidates:
-            if domain.contains(point):
-                collected.append(point)
-                if len(collected) >= num_samples:
-                    break
+        accepted = candidates[domain.contains_many(candidates)]
+        collected.extend(accepted)
         needed = num_samples - len(collected)
         attempt += 1
     if not collected:
@@ -88,8 +85,7 @@ def validate_nonnegativity(
     """Check ``polynomial >= -tolerance`` on sampled points of ``domain``."""
     points = sample_box(bounds, num_samples, seed=seed)
     if domain is not None:
-        mask = np.array([domain.contains(p) for p in points])
-        in_domain = points[mask]
+        in_domain = points[domain.contains_many(points)]
     else:
         in_domain = points
     if in_domain.shape[0] == 0:

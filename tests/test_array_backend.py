@@ -1,0 +1,264 @@
+"""Representation-equivalence tests for the array-backed pipeline.
+
+The polynomial layer stores terms as an exponent matrix + coefficient vector;
+these tests pin the array semantics to the reference ``{Monomial: float}``
+dict semantics, check that batched evaluation agrees with scalar evaluation,
+and assert that a cached recompile of a structurally identical SOS program
+yields a bit-identical :class:`ConicProblem`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.polynomial import (
+    Monomial,
+    Polynomial,
+    PolynomialStack,
+    VariableVector,
+    gram_product_table,
+    make_variables,
+    monomial_basis,
+)
+from repro.sdp import (
+    ConeDims,
+    cone_violation,
+    project_onto_cone,
+    project_psd_svec,
+    smat,
+    svec,
+    svec_dim,
+    unpack_warm_start,
+)
+from repro.sdp.cones import smat_many, svec_many
+from repro.sos import SOSProgram, add_positivity_on_set, SemialgebraicSet, ball_constraint
+
+small_coeffs = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False,
+                         allow_infinity=False)
+
+
+def _poly_strategy(num_vars=2, max_degree=3):
+    basis = monomial_basis(num_vars, max_degree)
+    xv = VariableVector(make_variables(*[f"x{i}" for i in range(num_vars)]))
+
+    @st.composite
+    def build(draw):
+        coeffs = draw(st.lists(small_coeffs, min_size=len(basis), max_size=len(basis)))
+        return Polynomial(xv, dict(zip(basis, coeffs)))
+
+    return build()
+
+
+def _dict_add(p, q):
+    coeffs = dict(p.coefficients)
+    for mono, c in q.coefficients.items():
+        coeffs[mono] = coeffs.get(mono, 0.0) + c
+    return coeffs
+
+
+def _dict_mul(p, q):
+    coeffs = {}
+    for m1, c1 in p.coefficients.items():
+        for m2, c2 in q.coefficients.items():
+            prod = m1 * m2
+            coeffs[prod] = coeffs.get(prod, 0.0) + c1 * c2
+    return coeffs
+
+
+def _assert_coeffs_close(poly, reference, tol=1e-9):
+    keys = set(poly.coefficients) | set(reference)
+    for mono in keys:
+        assert poly.coefficients.get(mono, 0.0) == pytest.approx(
+            reference.get(mono, 0.0), abs=tol)
+
+
+class TestArrayDictEquivalence:
+    @given(_poly_strategy(), _poly_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_addition_matches_dict_semantics(self, p, q):
+        _assert_coeffs_close(p + q, _dict_add(p, q))
+
+    @given(_poly_strategy(), _poly_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_matches_dict_semantics(self, p, q):
+        _assert_coeffs_close(p * q, _dict_mul(p, q))
+
+    @given(_poly_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_differentiation_matches_dict_semantics(self, p):
+        for index in range(p.num_variables):
+            reference = {}
+            for mono, coeff in p.coefficients.items():
+                factor, dmono = mono.differentiate(index)
+                if factor:
+                    reference[dmono] = reference.get(dmono, 0.0) + coeff * factor
+            _assert_coeffs_close(p.differentiate(index), reference)
+
+    def test_non_integer_exponents_rejected(self):
+        x, y = make_variables("x", "y")
+        xv = VariableVector([x, y])
+        with pytest.raises(ValueError):
+            Polynomial(xv, {(1, 0.5): 2.0})
+        with pytest.raises(ValueError):
+            Polynomial(xv, {(1, -1): 2.0})
+
+    @given(_poly_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_array_views_are_consistent(self, p):
+        assert p.exponent_matrix.shape == (len(p), p.num_variables)
+        rebuilt = {
+            Monomial(tuple(int(e) for e in row)): float(c)
+            for row, c in zip(p.exponent_matrix, p.coefficient_array)
+        }
+        assert rebuilt == p.coefficients
+
+
+class TestBatchedEvaluation:
+    @given(_poly_strategy(),
+           st.lists(st.tuples(small_coeffs, small_coeffs), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_evaluate_many_matches_scalar_call(self, p, points):
+        points = np.asarray(points, dtype=float)
+        batched = p.evaluate_many(points)
+        scalar = np.array([p(*pt) for pt in points])
+        np.testing.assert_allclose(batched, scalar, rtol=1e-9, atol=1e-9)
+
+    @given(_poly_strategy(), _poly_strategy(),
+           st.lists(st.tuples(small_coeffs, small_coeffs), min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_polynomial_stack_matches_individual_evaluation(self, p, q, points):
+        points = np.asarray(points, dtype=float)
+        stack = PolynomialStack([p, q])
+        values = stack.evaluate_many(points)
+        np.testing.assert_allclose(values[:, 0], p.evaluate_many(points),
+                                   rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(values[:, 1], q.evaluate_many(points),
+                                   rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(stack.evaluate(points[0]),
+                                   [p.evaluate(points[0]), q.evaluate(points[0])],
+                                   rtol=1e-9, atol=1e-9)
+
+
+class TestGramProductTable:
+    @pytest.mark.parametrize("num_vars,degree", [(1, 2), (2, 2), (2, 3), (3, 2)])
+    def test_table_matches_brute_force(self, num_vars, degree):
+        basis = monomial_basis(num_vars, degree)
+        table = gram_product_table(basis)
+        brute = {}
+        for i in range(len(basis)):
+            for j in range(i, len(basis)):
+                prod = basis[i] * basis[j]
+                brute[prod] = brute.get(prod, 0.0) + (1.0 if i == j else 2.0)
+        accumulated = {}
+        for k in range(len(table.pair_i)):
+            mono = table.products[table.pair_product[k]]
+            accumulated[mono] = accumulated.get(mono, 0.0) + table.pair_weight[k]
+        assert accumulated == brute
+
+    def test_table_is_cached(self):
+        basis = monomial_basis(2, 2)
+        assert gram_product_table(basis) is gram_product_table(basis)
+
+
+def _build_lyapunov_like_program(scale: float) -> SOSProgram:
+    """A small S-procedure program parameterised by a numeric sweep value."""
+    x, y = make_variables("x", "y")
+    xv = VariableVector([x, y])
+    program = SOSProgram(name="sweep")
+    V = program.new_polynomial_variable(xv, 2, name="V", min_degree=1)
+    px = Polynomial.from_variable(x, xv)
+    py = Polynomial.from_variable(y, xv)
+    domain = SemialgebraicSet(variables=xv,
+                              inequalities=(ball_constraint(xv, 2.0 * scale),))
+    add_positivity_on_set(program, V - scale * (px * px + py * py), domain,
+                          multiplier_degree=2, name="pos")
+    field = [-scale * px, -py]
+    lie = V.lie_derivative([f for f in field])
+    add_positivity_on_set(program, -lie, domain, multiplier_degree=2, name="dec")
+    return program
+
+
+class TestCompileCache:
+    def test_recompile_same_program_is_memoised(self):
+        program = _build_lyapunov_like_program(1.0)
+        first = program.compile()
+        second = program.compile()
+        assert first is second
+        problem = first[0].build()
+        assert first[0].build() is problem  # built problem memoised too
+
+    def test_structurally_identical_program_is_bit_identical(self):
+        problems = []
+        for _ in range(2):
+            program = _build_lyapunov_like_program(1.0)
+            builder, _, _ = program.compile()
+            problems.append(builder.build())
+        a, b = problems
+        assert a.dims == b.dims
+        assert np.array_equal(a.b, b.b)
+        assert np.array_equal(a.c, b.c)
+        assert a.A.shape == b.A.shape
+        diff = a.A - b.A
+        assert diff.nnz == 0 or abs(diff).max() == 0.0
+
+    def test_parameter_sweep_changes_only_coefficients(self):
+        builder_a, _, _ = _build_lyapunov_like_program(1.0).compile()
+        builder_b, _, _ = _build_lyapunov_like_program(2.0).compile()
+        a, b = builder_a.build(), builder_b.build()
+        # Same structure (dims and sparsity pattern), different numbers.
+        assert a.dims == b.dims
+        assert np.array_equal(a.A.indices, b.A.indices)
+        assert np.array_equal(a.A.indptr, b.A.indptr)
+        assert not np.array_equal(a.A.data, b.A.data)
+
+    def test_mutating_the_program_invalidates_the_cache(self):
+        program = _build_lyapunov_like_program(1.0)
+        first = program.compile()
+        program.new_variable("extra")
+        second = program.compile()
+        assert first is not second
+
+
+class TestBatchedCones:
+    def test_smat_many_round_trip(self):
+        rng = np.random.default_rng(3)
+        order = 4
+        vecs = rng.normal(size=(5, svec_dim(order)))
+        mats = smat_many(vecs, order)
+        for k in range(5):
+            np.testing.assert_allclose(mats[k], smat(vecs[k], order))
+        np.testing.assert_allclose(svec_many(mats, order), vecs, atol=1e-12)
+
+    def test_grouped_projection_matches_per_block(self):
+        rng = np.random.default_rng(5)
+        dims = ConeDims(free=3, nonneg=2, psd=(3, 2, 3, 2, 3))
+        vector = rng.normal(size=dims.total)
+        projected = project_onto_cone(vector, dims)
+        # Reference: project each block separately.
+        expected = vector.copy()
+        free_slice, nonneg_slice, psd_slices = dims.slices()
+        expected[nonneg_slice] = np.clip(vector[nonneg_slice], 0.0, None)
+        for order, sl in zip(dims.psd, psd_slices):
+            expected[sl], _ = project_psd_svec(vector[sl], order)
+        np.testing.assert_allclose(projected, expected, atol=1e-10)
+        assert cone_violation(projected, dims) <= 1e-8
+
+
+class TestWarmStart:
+    def test_unpack_rejects_dimension_mismatch(self):
+        assert unpack_warm_start({"x": np.zeros(3), "z": np.zeros(3),
+                                  "u": np.zeros(3)}, 4) is None
+        x, z, u = unpack_warm_start((np.zeros(4), np.ones(4), np.zeros(4)), 4)
+        assert x.shape == (4,) and z[0] == 1.0
+
+    def test_warm_started_resolve_succeeds_and_reports_flag(self):
+        program = _build_lyapunov_like_program(1.0)
+        first = program.solve(max_iterations=4000)
+        assert first.solver_result.info.get("warm_started") is False
+        warm = first.solver_result.info["warm_start_data"]
+        again = _build_lyapunov_like_program(1.0).solve(
+            max_iterations=4000, warm_start=warm)
+        assert again.solver_result.info.get("warm_started") is True
+        assert again.is_success == first.is_success
+        if first.is_success:
+            assert again.solver_result.iterations <= first.solver_result.iterations
