@@ -9,6 +9,12 @@ match the authors' absolute wall-clock numbers (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import sys
+import time
+
 import numpy as np
 import pytest
 
@@ -38,6 +44,50 @@ def print_rows(title, header, rows):
     print(" | ".join(header))
     for row in rows:
         print(" | ".join(str(item) for item in row))
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable benchmark output: benches call ``record_bench`` and the
+# session-finish hook writes everything to ``benchmarks/BENCH_table2.json`` so
+# the performance trajectory is tracked across PRs (CI uploads the file as a
+# build artifact).
+# ---------------------------------------------------------------------------
+BENCH_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "BENCH_table2.json")
+_BENCH_RECORDS = {}
+
+
+def record_bench(key, payload):
+    """Register one benchmark record for the end-of-session JSON dump."""
+    _BENCH_RECORDS[key] = payload
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH_RECORDS:
+        return
+    # Merge into any existing document so a partial session (e.g. a single
+    # bench module under -k) refreshes its own records without clobbering the
+    # rest of the trajectory file.
+    records = {}
+    try:
+        with open(BENCH_JSON_PATH) as handle:
+            previous = json.load(handle)
+        if isinstance(previous.get("records"), dict):
+            records.update(previous["records"])
+    except (OSError, ValueError):
+        pass
+    records.update(_BENCH_RECORDS)
+    document = {
+        "schema": "bench-table2/v1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "records": records,
+    }
+    with open(BENCH_JSON_PATH, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\n[bench] wrote {BENCH_JSON_PATH}")
 
 
 def benchmark_lyapunov_options(**overrides):

@@ -15,13 +15,16 @@ import pytest
 
 from repro.core import (
     TABLE2_STEP_ORDER,
+    LevelSetMaximizer,
+    LevelSetOptions,
     LyapunovSynthesisOptions,
     MultipleLyapunovSynthesizer,
 )
+from repro.exceptions import CertificateError
 from repro.polynomial import Monomial
 from repro.sdp import ConicProblemBuilder
 
-from conftest import print_rows
+from conftest import print_rows, record_bench
 
 
 def _rows_for(report):
@@ -32,6 +35,11 @@ def _rows_for(report):
 def test_bench_table2_third_order(benchmark, third_order_report):
     report = third_order_report
     benchmark.pedantic(lambda: report.table2_rows(), rounds=1, iterations=1)
+    record_bench("table2_third_order", {
+        "steps": [{"step": step, "seconds": seconds, "detail": detail}
+                  for step, seconds, detail in report.table2_rows()],
+        "total_seconds": report.total_time,
+    })
     print_rows(
         "Table 2 (third order): verification step timings [s]",
         ["Step", "Time (s)", "Detail"],
@@ -155,14 +163,108 @@ def test_bench_table2_compile_solve_split(fourth_order_model):
          ("solve", f"{solution.solve_time:.4f}")],
     )
     assert solution.compile_time > 0.0 and solution.solve_time > 0.0
+    record_bench("compile_solve_split", {
+        "per_degree_speedup": {str(d): s for d, s in speedups.items()},
+        "degree2_compile_seconds": solution.compile_time,
+        "degree2_solve_seconds": solution.solve_time,
+    })
     assert speedups[4] >= 3.0, (
         f"vectorized compile only {speedups[4]:.1f}x faster than the per-entry loop"
     )
 
 
+def test_bench_table2_levelset_batched_vs_serial(third_order_report, third_order_model):
+    """Parametric+batched level-curve maximisation vs the serial per-level path.
+
+    The baseline is the seed's per-level path: a fresh Lemma-1 program is
+    constructed, compiled and solved for every probe, with rejections paying
+    the full stall window (``infeasibility_detection=False`` reproduces the
+    seed solver's economics).  The batched engine compiles each inclusion
+    family once (``bind`` re-assembles the conic data per level), probes K
+    levels per round through the batched ADMM solver with plateau-based
+    infeasibility detection, and must be >= 3x faster end-to-end with
+    certified levels matching within the bisection tolerance.
+    """
+    lyapunov = third_order_report.property_one.lyapunov
+    if lyapunov is None or not lyapunov.certificates:
+        pytest.skip("no Lyapunov certificates synthesised at benchmark budget")
+    certificates = {name: cert.certificate
+                    for name, cert in lyapunov.certificates.items()}
+    domains = {name: cert.domain for name, cert in lyapunov.certificates.items()}
+    bounds = third_order_model.state_bounds()
+
+    tolerance = 0.05
+    common = dict(bisection_tolerance=tolerance, max_bisection_iterations=10,
+                  initial_upper_bound=5.0)
+    serial_options = LevelSetOptions(
+        strategy="serial",
+        solver_settings=dict(max_iterations=4000, infeasibility_detection=False),
+        **common)
+    batched_options = LevelSetOptions(
+        strategy="batched", solver_settings=dict(max_iterations=4000), **common)
+
+    def run(options):
+        maximizer = LevelSetMaximizer(options)
+        levels, elapsed = {}, {}
+        for name in certificates:
+            start = time.perf_counter()
+            try:
+                levels[name] = maximizer.maximize(
+                    name, certificates[name], domains[name], bounds=bounds).level
+            except CertificateError:
+                levels[name] = None
+            elapsed[name] = time.perf_counter() - start
+        return levels, elapsed
+
+    serial_levels, serial_times = run(serial_options)
+    batched_levels, batched_times = run(batched_options)
+
+    total_serial = sum(serial_times.values())
+    total_batched = sum(batched_times.values())
+    speedup = total_serial / max(total_batched, 1e-9)
+    rows = []
+    for name in certificates:
+        fmt = lambda level: "-" if level is None else f"{level:.4f}"
+        rows.append((name, fmt(serial_levels[name]), f"{serial_times[name]:.2f}",
+                     fmt(batched_levels[name]), f"{batched_times[name]:.2f}"))
+    print_rows(
+        "Table 2 extension: level-set maximisation, serial per-level vs batched [s]",
+        ["Mode", "Serial level", "Serial time", "Batched level", "Batched time"],
+        rows + [("total", "", f"{total_serial:.2f}", "", f"{total_batched:.2f}")],
+    )
+    record_bench("levelset_batched_vs_serial", {
+        "serial_seconds": total_serial,
+        "batched_seconds": total_batched,
+        "speedup": speedup,
+        "modes": {name: {"serial_level": serial_levels[name],
+                         "batched_level": batched_levels[name],
+                         "serial_seconds": serial_times[name],
+                         "batched_seconds": batched_times[name]}
+                  for name in certificates},
+    })
+
+    for name in certificates:
+        serial_level = serial_levels[name]
+        batched_level = batched_levels[name]
+        assert (serial_level is None) == (batched_level is None), (
+            f"{name}: serial and batched paths disagree about certifiability")
+        if serial_level is not None:
+            assert abs(serial_level - batched_level) <= tolerance + 1e-9, (
+                f"{name}: levels diverge beyond the bisection tolerance "
+                f"({serial_level:.4f} vs {batched_level:.4f})")
+    assert speedup >= 3.0, (
+        f"batched level-set maximisation only {speedup:.2f}x faster than the "
+        f"serial per-level path")
+
+
 def test_bench_table2_fourth_order(benchmark, fourth_order_report):
     report = fourth_order_report
     benchmark.pedantic(lambda: report.table2_rows(), rounds=1, iterations=1)
+    record_bench("table2_fourth_order", {
+        "steps": [{"step": step, "seconds": seconds, "detail": detail}
+                  for step, seconds, detail in report.table2_rows()],
+        "total_seconds": report.total_time,
+    })
     print_rows(
         "Table 2 (fourth order): verification step timings [s]",
         ["Step", "Time (s)", "Detail"],

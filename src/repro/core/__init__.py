@@ -10,6 +10,8 @@ from .levelset import LevelSetMaximizer, LevelSetOptions, MaximizedLevelSet
 from .attractive import AttractiveInvariant
 from .inclusion import (
     InclusionCertificate,
+    ParametricInclusionFamily,
+    build_inclusion_program,
     check_sublevel_inclusion,
     sample_inclusion_counterexample,
     sublevel_set_is_empty,
@@ -55,6 +57,8 @@ __all__ = [
     "MaximizedLevelSet",
     "AttractiveInvariant",
     "InclusionCertificate",
+    "ParametricInclusionFamily",
+    "build_inclusion_program",
     "check_sublevel_inclusion",
     "sample_inclusion_counterexample",
     "sublevel_set_is_empty",

@@ -29,6 +29,21 @@ class AttractiveInvariant:
             raise ValueError("an attractive invariant needs at least one level set")
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_maximization(cls, maximizer, certificates: Dict[str, Polynomial],
+                          domains: Dict[str, "object"], variables: VariableVector,
+                          bounds: Optional[Sequence[Tuple[float, float]]] = None,
+                          ) -> "AttractiveInvariant":
+        """Build the invariant by maximising every mode's level curve.
+
+        ``maximizer`` is a :class:`~repro.core.levelset.LevelSetMaximizer`;
+        with its default batched strategy each mode's Lemma-1 queries compile
+        once and the level ladder is solved through the batched ADMM engine.
+        """
+        level_sets = maximizer.maximize_all(certificates, domains, bounds=bounds)
+        return cls(level_sets=level_sets, variables=variables)
+
+    # ------------------------------------------------------------------
     @property
     def mode_names(self) -> Tuple[str, ...]:
         return tuple(self.level_sets)

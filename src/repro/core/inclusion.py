@@ -10,12 +10,13 @@ then forces ``p2(x) <= 0``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..polynomial import Polynomial, VariableVector
-from ..sos import SemialgebraicSet, SOSProgram
+from ..polynomial import ParametricPolynomial, Polynomial, VariableVector
+from ..sdp import SolverResult, solve_conic_problems
+from ..sos import ParametricSOSProgram, SemialgebraicSet, SOSProgram
 from ..utils import get_logger
 
 LOGGER = get_logger("core.inclusion")
@@ -36,6 +37,34 @@ class InclusionCertificate:
         return self.holds
 
 
+def build_inclusion_program(
+    inner: Polynomial,
+    outer: Polynomial,
+    multiplier_degree: int = 2,
+    domain: Optional[SemialgebraicSet] = None,
+) -> Tuple[SOSProgram, ParametricPolynomial, Polynomial, Polynomial]:
+    """Construct the Lemma-1 feasibility program for one inclusion query.
+
+    Returns ``(program, lambda_template, inner_aligned, outer_aligned)``; the
+    query is feasible iff ``λ·inner − outer`` (minus domain S-procedure
+    terms) admits an SOS certificate with ``λ`` SOS.
+    """
+    variables = inner.variables.union(outer.variables)
+    inner_v = inner.with_variables(variables)
+    outer_v = outer.with_variables(variables)
+
+    program = SOSProgram(name="sublevel_inclusion")
+    lam = program.new_sos_polynomial(variables, multiplier_degree, name="lambda")
+    expr = lam * inner_v - outer_v
+    if domain is not None:
+        for k, constraint in enumerate(domain.inequalities):
+            sigma = program.new_sos_polynomial(variables, multiplier_degree,
+                                               name=f"dom{k}")
+            expr = expr - sigma * constraint.with_variables(variables)
+    program.add_sos_constraint(expr, name="inclusion")
+    return program, lam, inner_v, outer_v
+
+
 def check_sublevel_inclusion(
     inner: Polynomial,
     outer: Polynomial,
@@ -52,21 +81,13 @@ def check_sublevel_inclusion(
     the certificate search feasible when the inclusion only holds locally.
     ``warm_start`` takes the ``warm_start_data`` of a previous structurally
     identical query (e.g. the neighbouring level of a bisection loop); the
-    returned certificate carries this solve's data for the next query.
+    returned certificate carries this solve's data for the next query.  For
+    families of queries differing only in a level parameter, use
+    :class:`ParametricInclusionFamily` instead — it compiles the structure
+    once and re-assembles each query as a sparse array operation.
     """
-    variables = inner.variables.union(outer.variables)
-    inner_v = inner.with_variables(variables)
-    outer_v = outer.with_variables(variables)
-
-    program = SOSProgram(name="sublevel_inclusion")
-    lam = program.new_sos_polynomial(variables, multiplier_degree, name="lambda")
-    expr = lam * inner_v - outer_v
-    if domain is not None:
-        for k, constraint in enumerate(domain.inequalities):
-            sigma = program.new_sos_polynomial(variables, multiplier_degree,
-                                               name=f"dom{k}")
-            expr = expr - sigma * constraint.with_variables(variables)
-    program.add_sos_constraint(expr, name="inclusion")
+    program, lam, inner_v, outer_v = build_inclusion_program(
+        inner, outer, multiplier_degree=multiplier_degree, domain=domain)
     solution = program.solve(backend=solver_backend, warm_start=warm_start,
                              **solver_settings)
     warm_data = solution.solver_result.info.get("warm_start_data")
@@ -81,6 +102,78 @@ def check_sublevel_inclusion(
                                 status=solution.status.value,
                                 inner=inner_v, outer=outer_v,
                                 warm_start_data=warm_data)
+
+
+class ParametricInclusionFamily:
+    """The θ-family ``{certificate − θ <= 0} ⊆ {outer <= 0}``, compiled once.
+
+    The level enters the Lemma-1 certificate affinely through
+    ``λ·(certificate − θ)``, so the whole bisection/K-section ladder of a
+    level-curve maximisation shares one compiled structure: after the initial
+    :class:`~repro.sos.parametric.ParametricSOSProgram` compile, every probe
+    is a :meth:`bind` (sparse re-assembly) plus a conic solve — typically
+    batched across levels via :func:`repro.sdp.solve_conic_problems`.
+    """
+
+    def __init__(self, certificate: Polynomial, outer: Polynomial,
+                 multiplier_degree: int = 2,
+                 domain: Optional[SemialgebraicSet] = None,
+                 probes: Tuple[float, float] = (0.0, 1.0),
+                 check_affinity: bool = True):
+        self.certificate = certificate
+        self.outer = outer
+        self.variables = certificate.variables.union(outer.variables)
+
+        def build(theta: float):
+            program, lam, _, _ = build_inclusion_program(
+                certificate - theta, outer,
+                multiplier_degree=multiplier_degree, domain=domain)
+            return program, lam
+
+        self.family = ParametricSOSProgram(build, probes=probes,
+                                           check_affinity=check_affinity,
+                                           name="inclusion_family")
+
+    # ------------------------------------------------------------------
+    def compile(self) -> "ParametricInclusionFamily":
+        self.family.compile()
+        return self
+
+    def bind(self, level: float):
+        """The conic problem of the query at ``level`` (no recompilation)."""
+        return self.family.bind(level)
+
+    def bind_many(self, levels: Sequence[float]) -> List[object]:
+        return self.family.bind_many(levels)
+
+    # ------------------------------------------------------------------
+    def interpret(self, level: float, result: SolverResult,
+                  extract_multiplier: bool = False) -> InclusionCertificate:
+        """Wrap a solver result of a bound query as an :class:`InclusionCertificate`."""
+        holds = result.status.is_success and result.x is not None
+        multiplier = None
+        if holds and extract_multiplier:
+            solution = self.family.interpret(result)
+            multiplier = solution.polynomial(self.family.payload)
+        return InclusionCertificate(
+            holds=holds,
+            multiplier=multiplier,
+            status=result.status.value,
+            inner=(self.certificate - level).with_variables(self.variables),
+            outer=self.outer.with_variables(self.variables),
+            warm_start_data=result.info.get("warm_start_data"),
+        )
+
+    def check_levels(self, levels: Sequence[float],
+                     solver_backend=None,
+                     warm_starts: Optional[Sequence[Optional[dict]]] = None,
+                     **solver_settings) -> List[InclusionCertificate]:
+        """Solve the queries at ``levels`` as one batch (the fast path)."""
+        problems = self.bind_many(levels)
+        results = solve_conic_problems(problems, backend=solver_backend,
+                                       warm_starts=warm_starts, **solver_settings)
+        return [self.interpret(level, result)
+                for level, result in zip(levels, results)]
 
 
 def sample_inclusion_counterexample(

@@ -96,18 +96,19 @@ class InevitabilityVerifier:
         domains = {name: cert.domain for name, cert in lyapunov.certificates.items()}
         start = time.perf_counter()
         try:
-            level_sets = maximizer.maximize_all(certificates, domains,
-                                                bounds=self.model.state_bounds())
+            invariant = AttractiveInvariant.from_maximization(
+                maximizer, certificates, domains,
+                variables=self.model.state_variables,
+                bounds=self.model.state_bounds())
         except CertificateError as exc:
-            report.add_timing(STEP_MAX_LEVEL_CURVES, time.perf_counter() - start)
+            report.add_timing(STEP_MAX_LEVEL_CURVES, time.perf_counter() - start,
+                              detail=f"strategy={self.options.levelset.strategy}")
             return PropertyOneResult(
                 status=VerificationStatus.INCONCLUSIVE, lyapunov=lyapunov, invariant=None,
                 message=f"level-curve maximisation failed: {exc}",
             )
-        report.add_timing(STEP_MAX_LEVEL_CURVES, time.perf_counter() - start)
-
-        invariant = AttractiveInvariant(level_sets=level_sets,
-                                        variables=self.model.state_variables)
+        report.add_timing(STEP_MAX_LEVEL_CURVES, time.perf_counter() - start,
+                          detail=f"strategy={self.options.levelset.strategy}")
         status = VerificationStatus.VERIFIED if lyapunov.all_validations_passed \
             else VerificationStatus.FAILED
         return PropertyOneResult(

@@ -4,8 +4,17 @@ Given a Lyapunov certificate ``V_q`` and the mode domain
 ``D_q = {x : g_1 >= 0, ..., g_k >= 0}``, find the largest ``c_q`` such that
 the sub-level set ``{V_q <= c_q}`` is contained in ``D_q``.  Containment in
 each ``{g_j >= 0}`` is certified through Lemma 1; since the certificate is
-bilinear in ``(c, multipliers)`` the maximisation is done by bisection on
-``c`` (each feasibility query is a linear SOS program).
+bilinear in ``(c, multipliers)`` the maximisation probes candidate levels.
+
+Two strategies are available:
+
+* ``"batched"`` (default): one :class:`ParametricInclusionFamily` per domain
+  inequality is compiled **once**; each round binds ``K`` candidate levels
+  (K-section — the bracket shrinks by ``K+1`` per round instead of 2) and
+  solves all of them through the batched ADMM engine with warm starts carried
+  between rounds and per-problem convergence masking.
+* ``"serial"``: the original per-level path — a fresh Lemma-1 program per
+  probe — kept as the reference baseline and for non-ADMM backends.
 """
 
 from __future__ import annotations
@@ -20,9 +29,13 @@ from ..exceptions import CertificateError
 from ..polynomial import Polynomial
 from ..sos import SemialgebraicSet, SOSProgram
 from ..utils import get_logger
-from .inclusion import check_sublevel_inclusion
+from .inclusion import ParametricInclusionFamily, check_sublevel_inclusion
 
 LOGGER = get_logger("core.levelset")
+
+#: Cap on the upper-bound doublings of the expansion phase (as in the serial
+#: bisection: ``upper * 2**12`` is the largest bracket ever probed).
+_MAX_EXPANSIONS = 12
 
 
 @dataclass
@@ -35,9 +48,18 @@ class LevelSetOptions:
     initial_upper_bound: Optional[float] = None
     solver_backend: Optional[str] = None
     solver_settings: Dict[str, object] = field(default_factory=dict)
-    #: Warm-start each bisection query from the previous level's iterates
-    #: (all queries of one maximisation share the same SDP structure).
+    #: Warm-start each query from the previous round's iterates at the same
+    #: slot (all queries of one maximisation share the same SDP structure).
     warm_start: bool = True
+    #: ``"batched"`` — parametric compile + K-section through the batch ADMM
+    #: engine; ``"serial"`` — the per-level reference path.
+    strategy: str = "batched"
+    #: Number of candidate levels probed per batched round (the ``K`` of
+    #: K-section); the bracket shrinks by ``K+1`` per round.
+    levels_per_round: int = 6
+    #: Verify the affine-in-theta decomposition with a third structural
+    #: compile when building each parametric family.
+    check_affinity: bool = True
 
 
 @dataclass
@@ -61,13 +83,15 @@ class MaximizedLevelSet:
 
 
 class LevelSetMaximizer:
-    """Maximise ``c`` with ``{V <= c} ⊆ D`` by bisection over Lemma-1 queries."""
+    """Maximise ``c`` with ``{V <= c} ⊆ D`` over Lemma-1 queries."""
 
     def __init__(self, options: Optional[LevelSetOptions] = None):
         self.options = options or LevelSetOptions()
         # Per-inequality warm-start data carried across bisection levels
-        # (reset at the start of each maximisation).
-        self._warm_starts: Dict[int, dict] = {}
+        # (reset at the start of each maximisation).  The batched path keys
+        # by (family index -> {level: data}); the serial path by family index.
+        self._warm_starts: Dict[object, object] = {}
+        self._rejections: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def _level_is_certified(self, certificate: Polynomial, level: float,
@@ -108,6 +132,171 @@ class LevelSetMaximizer:
     def maximize(self, mode_name: str, certificate: Polynomial,
                  domain: SemialgebraicSet,
                  bounds: Optional[Sequence[Tuple[float, float]]] = None) -> MaximizedLevelSet:
+        """Find the largest certified level of one certificate."""
+        if self.options.strategy == "serial":
+            return self._maximize_serial(mode_name, certificate, domain, bounds)
+        return self._maximize_batched(mode_name, certificate, domain, bounds)
+
+    # ------------------------------------------------------------------
+    # Batched K-section path
+    # ------------------------------------------------------------------
+    def _nearest_warm_start(self, family_index: int, level: float) -> Optional[dict]:
+        """Warm-start data of the closest previously solved level of a family.
+
+        Solutions vary continuously in the level parameter, so the nearest
+        solved neighbour is the best available initial iterate; K-section
+        rounds shrink the bracket by ``K+1`` per round, making the neighbours
+        progressively tighter.
+        """
+        store = self._warm_starts.get(family_index)
+        if not store:
+            return None
+        nearest = min(store, key=lambda theta: abs(theta - level))
+        return store[nearest]
+
+    def _certify_batch(self, families: List[ParametricInclusionFamily],
+                       levels: np.ndarray) -> np.ndarray:
+        """Feasibility of each level against every inequality, batch-solved.
+
+        One batch per inequality family (each K levels wide), processed in
+        decreasing order of past rejections with per-level pruning: the
+        binding constraint usually rejects first, so the remaining families
+        only see the surviving levels — mirroring the serial path's
+        short-circuit while keeping each solve inside the batched engine.
+        """
+        from ..sdp import solve_conic_problems
+
+        options = self.options
+        ok = np.ones(levels.shape[0], dtype=bool)
+        order = sorted(range(len(families)),
+                       key=lambda j: -self._rejections.get(j, 0))
+        for j in order:
+            alive = np.flatnonzero(ok)
+            if alive.size == 0:
+                break
+            family = families[j]
+            problems = [family.bind(float(levels[i])) for i in alive]
+            starts = [self._nearest_warm_start(j, float(levels[i]))
+                      if options.warm_start else None for i in alive]
+            results = solve_conic_problems(
+                problems, backend=options.solver_backend, warm_starts=starts,
+                **options.solver_settings)
+            for position, i in enumerate(alive):
+                result = results[position]
+                if options.warm_start:
+                    warm = result.info.get("warm_start_data")
+                    if warm is not None:
+                        self._warm_starts.setdefault(j, {})[float(levels[i])] = warm
+                if not (result.status.is_success and result.x is not None):
+                    ok[i] = False
+                    self._rejections[j] = self._rejections.get(j, 0) + 1
+        return ok
+
+    @staticmethod
+    def _certified_prefix(flags: np.ndarray) -> int:
+        """Length of the leading certified run (the monotone interpretation)."""
+        rejected = np.flatnonzero(~flags)
+        return int(rejected[0]) if rejected.size else int(flags.shape[0])
+
+    def _maximize_batched(self, mode_name: str, certificate: Polynomial,
+                          domain: SemialgebraicSet,
+                          bounds: Optional[Sequence[Tuple[float, float]]]) -> MaximizedLevelSet:
+        options = self.options
+        self._warm_starts = {}
+        self._rejections = {}
+        upper = options.initial_upper_bound
+        if upper is None:
+            upper = self._default_upper_bound(certificate, domain, bounds)
+        upper = max(float(upper), options.bisection_tolerance)
+        lower = 0.0
+        levels_per_round = max(1, int(options.levels_per_round))
+
+        families = [
+            ParametricInclusionFamily(
+                certificate, -constraint,
+                multiplier_degree=options.multiplier_degree,
+                check_affinity=options.check_affinity,
+            ).compile()
+            for constraint in domain.inequalities
+        ]
+
+        certified: List[float] = []
+        rejected: List[float] = []
+        iterations = 0
+
+        if not families:
+            # No inequalities: every level is trivially certified; mirror the
+            # serial path's expansion cap.
+            lower = upper * (2.0 ** _MAX_EXPANSIONS)
+            certified.append(lower)
+            iterations = _MAX_EXPANSIONS
+
+        # Phase 1 — probe the initial upper bound once (this also discovers
+        # which inequality binds, ordering later rounds); only when it is
+        # certified, expand with geometric ladders probed one batch per round.
+        bracket_open = False
+        if families:
+            flags = self._certify_batch(families, np.array([upper]))
+            iterations += 1
+            if flags[0]:
+                certified.append(upper)
+                lower = upper
+                bracket_open = True
+            else:
+                rejected.append(upper)
+        expansions = 1
+        while bracket_open and expansions <= _MAX_EXPANSIONS:
+            count = min(levels_per_round, _MAX_EXPANSIONS - expansions + 1)
+            ladder = lower * (2.0 ** np.arange(1, count + 1))
+            flags = self._certify_batch(families, ladder)
+            iterations += 1
+            prefix = self._certified_prefix(flags)
+            certified.extend(float(level) for level in ladder[:prefix])
+            if prefix > 0:
+                lower = float(ladder[prefix - 1])
+            if prefix < count:
+                rejected.append(float(ladder[prefix]))
+                upper = float(ladder[prefix])
+                bracket_open = False
+            else:
+                expansions += count
+        if bracket_open:
+            # Expansion cap reached with everything certified.
+            upper = lower * 2.0
+
+        # Phase 2 — K-section: probe K interior levels per round, shrinking
+        # the bracket by (K+1)x per round.
+        best = lower
+        while (upper - lower) > options.bisection_tolerance and \
+                iterations < options.max_bisection_iterations and families:
+            span = upper - lower
+            levels = lower + span * (np.arange(1, levels_per_round + 1)
+                                     / (levels_per_round + 1.0))
+            flags = self._certify_batch(families, levels)
+            iterations += 1
+            prefix = self._certified_prefix(flags)
+            certified.extend(float(level) for level in levels[:prefix])
+            rejected.extend(float(level) for level in levels[prefix:])
+            if prefix > 0:
+                best = lower = float(levels[prefix - 1])
+            if prefix < levels_per_round:
+                upper = float(levels[prefix])
+
+        if best <= 0.0:
+            raise CertificateError(
+                f"level-curve maximisation for {mode_name!r} found no positive certified level"
+            )
+        return MaximizedLevelSet(
+            mode_name=mode_name, certificate=certificate, level=best,
+            iterations=iterations, certified_levels=certified, rejected_levels=rejected,
+        )
+
+    # ------------------------------------------------------------------
+    # Serial reference path (the original per-level bisection)
+    # ------------------------------------------------------------------
+    def _maximize_serial(self, mode_name: str, certificate: Polynomial,
+                         domain: SemialgebraicSet,
+                         bounds: Optional[Sequence[Tuple[float, float]]]) -> MaximizedLevelSet:
         """Bisect for the largest certified level of one certificate."""
         options = self.options
         self._warm_starts = {}
@@ -127,7 +316,7 @@ class LevelSetMaximizer:
             lower = upper
             upper *= 2.0
             expansions += 1
-            if expansions > 12:
+            if expansions > _MAX_EXPANSIONS:
                 break
 
         iterations = expansions
@@ -158,12 +347,18 @@ class LevelSetMaximizer:
                      domains: Dict[str, SemialgebraicSet],
                      bounds: Optional[Sequence[Tuple[float, float]]] = None,
                      ) -> Dict[str, MaximizedLevelSet]:
-        """Maximise the level curve of every mode certificate."""
+        """Maximise the level curve of every mode certificate.
+
+        Every mode runs through the configured strategy — with the default
+        batched engine each mode compiles its inclusion families once and
+        probes its whole level ladder in batched rounds.
+        """
         results: Dict[str, MaximizedLevelSet] = {}
         for mode_name, certificate in certificates.items():
             domain = domains[mode_name]
             start = time.perf_counter()
             results[mode_name] = self.maximize(mode_name, certificate, domain, bounds)
-            LOGGER.info("level set for %s: c=%.4g (%.2fs)", mode_name,
-                        results[mode_name].level, time.perf_counter() - start)
+            LOGGER.info("level set for %s: c=%.4g (%s, %.2fs)", mode_name,
+                        results[mode_name].level, self.options.strategy,
+                        time.perf_counter() - start)
         return results

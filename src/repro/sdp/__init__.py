@@ -8,6 +8,7 @@ from .cones import (
     ConeDims,
     cone_violation,
     project_onto_cone,
+    project_onto_cone_many,
     project_psd_svec,
     smat,
     svec,
@@ -16,8 +17,9 @@ from .cones import (
 )
 from .problem import ConicProblem, ConicProblemBuilder, VariableBlock
 from .result import SolveHistory, SolverResult, SolverStatus
-from .scaling import ScalingData, drop_zero_rows, equilibrate
+from .scaling import ScalingData, drop_zero_rows, equilibrate, presolve, row_inf_norms
 from .admm import ADMMConicSolver, ADMMSettings, WarmStart, unpack_warm_start
+from .batch import BatchADMMSolver
 from .projection import AlternatingProjectionSolver, ProjectionSettings
 from .solver import (
     DEFAULT_BACKEND,
@@ -25,6 +27,7 @@ from .solver import (
     make_solver,
     register_backend,
     solve_conic_problem,
+    solve_conic_problems,
 )
 
 __all__ = [
@@ -34,6 +37,7 @@ __all__ = [
     "svec_dim",
     "svec_indices",
     "project_onto_cone",
+    "project_onto_cone_many",
     "project_psd_svec",
     "cone_violation",
     "ConicProblem",
@@ -45,15 +49,19 @@ __all__ = [
     "ScalingData",
     "equilibrate",
     "drop_zero_rows",
+    "presolve",
+    "row_inf_norms",
     "ADMMConicSolver",
     "ADMMSettings",
     "WarmStart",
     "unpack_warm_start",
+    "BatchADMMSolver",
     "AlternatingProjectionSolver",
     "ProjectionSettings",
     "available_backends",
     "register_backend",
     "make_solver",
     "solve_conic_problem",
+    "solve_conic_problems",
     "DEFAULT_BACKEND",
 ]

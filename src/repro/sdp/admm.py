@@ -31,7 +31,7 @@ import scipy.sparse.linalg as spla
 from .cones import project_onto_cone
 from .problem import ConicProblem
 from .result import SolveHistory, SolverResult, SolverStatus
-from .scaling import drop_zero_rows, equilibrate
+from .scaling import presolve
 
 WarmStart = Union[Dict[str, np.ndarray], Tuple[np.ndarray, np.ndarray, np.ndarray]]
 
@@ -85,6 +85,19 @@ class ADMMSettings:
     over_relaxation: float = 1.6
     history_stride: int = 25
     verbose: bool = False
+    #: Early infeasibility detection (SCS/OSQP-style divergence check): on an
+    #: infeasible instance the splitting converges to the positive distance
+    #: between the affine set and the cone, so the primal residual locks onto
+    #: a plateau far above the feasibility tolerance while the dual residual
+    #: stays below it.  A plateau stable to ``infeasibility_rel_change``
+    #: across ``infeasibility_streak`` consecutive check windows fires
+    #: thousands of iterations before the generic stall window — this is
+    #: what makes rejected levels cheap in bisection/K-section loops.
+    infeasibility_detection: bool = True
+    infeasibility_interval: int = 100
+    infeasibility_min_iteration: int = 300
+    infeasibility_rel_change: float = 1e-3
+    infeasibility_streak: int = 2
 
 
 class ADMMConicSolver:
@@ -108,16 +121,13 @@ class ADMMConicSolver:
         settings = self.settings
         original = problem
         try:
-            problem = drop_zero_rows(problem)
+            problem, scaling = presolve(problem, scale=settings.scale_problem)
         except ValueError as exc:
             return SolverResult(
                 status=SolverStatus.INFEASIBLE_SUSPECTED,
                 info={"reason": str(exc)},
                 solve_time=time.perf_counter() - start,
             )
-        scaling = None
-        if settings.scale_problem:
-            problem, scaling = equilibrate(problem)
 
         n = problem.num_variables
         m = problem.num_constraints
@@ -157,6 +167,9 @@ class ADMMConicSolver:
         best_primal = np.inf
         best_primal_at = 0
         alpha = settings.over_relaxation
+        dual_residual = float("nan")
+        primal_snapshot = np.inf
+        frozen_streak = 0
 
         iteration = 0
         for iteration in range(1, settings.max_iterations + 1):
@@ -185,6 +198,24 @@ class ADMMConicSolver:
             if primal_residual <= eps_primal and dual_residual <= eps_dual:
                 status = SolverStatus.OPTIMAL
                 break
+
+            # Early infeasibility detection: the primal residual locked onto a
+            # plateau far above feasibility (with the dual residual below it)
+            # means the split has converged to the affine-set/cone separation.
+            if settings.infeasibility_detection and \
+                    iteration % settings.infeasibility_interval == 0:
+                if iteration >= settings.infeasibility_min_iteration:
+                    frozen = primal_residual > 100 * eps_primal and \
+                        dual_residual < primal_residual and \
+                        abs(primal_residual - primal_snapshot) <= \
+                        settings.infeasibility_rel_change * primal_residual
+                    frozen_streak = frozen_streak + 1 if frozen else 0
+                else:
+                    frozen_streak = 0
+                primal_snapshot = primal_residual
+                if frozen_streak >= settings.infeasibility_streak:
+                    status = SolverStatus.INFEASIBLE_SUSPECTED
+                    break
 
             # Stall detection: the primal residual has not improved meaningfully
             # for a long stretch while remaining far from feasibility — for a
@@ -219,7 +250,7 @@ class ADMMConicSolver:
             x=candidate,
             objective=objective,
             primal_residual=float(np.linalg.norm(x - z)),
-            dual_residual=float("nan"),
+            dual_residual=float(dual_residual),
             equality_residual=equality_residual,
             cone_violation=violation,
             iterations=iteration,

@@ -24,7 +24,7 @@ from .admm import WarmStart, unpack_warm_start
 from .cones import project_onto_cone
 from .problem import ConicProblem
 from .result import SolverResult, SolverStatus
-from .scaling import drop_zero_rows, equilibrate
+from .scaling import presolve
 
 
 @dataclass
@@ -57,15 +57,13 @@ class AlternatingProjectionSolver:
             )
         original = problem
         try:
-            problem = drop_zero_rows(problem)
+            problem, _ = presolve(problem, scale=self.settings.scale_problem)
         except ValueError as exc:
             return SolverResult(
                 status=SolverStatus.INFEASIBLE_SUSPECTED,
                 info={"reason": str(exc)},
                 solve_time=time.perf_counter() - start,
             )
-        if self.settings.scale_problem:
-            problem, _ = equilibrate(problem)
 
         A = problem.A.tocsr()
         b = problem.b

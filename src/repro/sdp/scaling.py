@@ -5,6 +5,11 @@ readily when the underlying dynamics are not normalised) slow the ADMM
 solver down dramatically.  We apply row equilibration to the equality
 constraints — this never changes the feasible set or the cone — plus a scalar
 normalisation of the cost vector.
+
+:func:`presolve` fuses zero-row elimination and equilibration into a single
+pass over one CSR copy of ``A`` (one row-norm computation, one data-array
+scale), which is what the solver backends call; :func:`drop_zero_rows` and
+:func:`equilibrate` remain available as standalone transformations.
 """
 
 from __future__ import annotations
@@ -29,6 +34,33 @@ class ScalingData:
         return value * self.cost_scale
 
 
+def row_inf_norms(A: sp.spmatrix) -> np.ndarray:
+    """Per-row infinity norms of a sparse matrix (no CSC/dense round-trips).
+
+    Shared by zero-row detection and row equilibration: one pass over the CSR
+    data array with ``np.maximum.reduceat`` instead of two ``abs(A).max(axis=1)``
+    dense-matrix detours.
+    """
+    A = A if sp.isspmatrix_csr(A) else A.tocsr()
+    m = A.shape[0]
+    norms = np.zeros(m)
+    if m == 0 or A.nnz == 0:
+        return norms
+    counts = np.diff(A.indptr)
+    nonempty = counts > 0
+    norms[nonempty] = np.maximum.reduceat(np.abs(A.data), A.indptr[:-1][nonempty])
+    return norms
+
+
+def _check_zero_rows(zero_rows: np.ndarray, b: np.ndarray) -> None:
+    bad = [int(r) for r in zero_rows if abs(b[r]) > 1e-12]
+    if bad:
+        raise ValueError(
+            f"equality rows {bad} have zero coefficients but nonzero right-hand side; "
+            "the polynomial identity cannot be satisfied"
+        )
+
+
 def equilibrate(problem: ConicProblem, min_scale: float = 1e-6,
                 max_scale: float = 1e6) -> Tuple[ConicProblem, ScalingData]:
     """Row-equilibrate ``A x = b`` and normalise the cost vector.
@@ -43,12 +75,10 @@ def equilibrate(problem: ConicProblem, min_scale: float = 1e-6,
     m = A.shape[0]
     row_scale = np.ones(m)
     if m > 0 and A.nnz > 0:
-        abs_A = abs(A)
-        row_norms = np.asarray(abs_A.max(axis=1).todense()).ravel()
+        row_norms = row_inf_norms(A)
         row_norms[row_norms == 0.0] = 1.0
         row_scale = 1.0 / np.clip(row_norms, min_scale, max_scale)
-        D = sp.diags(row_scale)
-        A = D @ A
+        A.data *= np.repeat(row_scale, np.diff(A.indptr))
         b = row_scale * b
 
     c = problem.c.copy()
@@ -74,16 +104,60 @@ def drop_zero_rows(problem: ConicProblem, tolerance: float = 0.0) -> ConicProble
     A = problem.A.tocsr()
     if A.shape[0] == 0:
         return problem
-    abs_A = abs(A)
-    row_norms = np.asarray(abs_A.max(axis=1).todense()).ravel()
+    row_norms = row_inf_norms(A)
     zero_rows = np.where(row_norms <= tolerance)[0]
     if zero_rows.size == 0:
         return problem
-    bad = [int(r) for r in zero_rows if abs(problem.b[r]) > 1e-12]
-    if bad:
-        raise ValueError(
-            f"equality rows {bad} have zero coefficients but nonzero right-hand side; "
-            "the polynomial identity cannot be satisfied"
-        )
+    _check_zero_rows(zero_rows, problem.b)
     keep = np.setdiff1d(np.arange(A.shape[0]), zero_rows)
     return ConicProblem(c=problem.c, A=A[keep], b=problem.b[keep], dims=problem.dims)
+
+
+def presolve(problem: ConicProblem, scale: bool = True, min_scale: float = 1e-6,
+             max_scale: float = 1e6) -> Tuple[ConicProblem, Optional[ScalingData]]:
+    """Fused ``drop_zero_rows`` + ``equilibrate`` sharing one row-norm pass.
+
+    Returns the presolved problem and the applied :class:`ScalingData`
+    (``None`` when ``scale`` is false).  Raises ``ValueError`` for trivially
+    infeasible zero rows, exactly like :func:`drop_zero_rows`.
+    """
+    A = problem.A  # ConicProblem guarantees CSR
+    b = problem.b
+    m = A.shape[0]
+    if m == 0:
+        if not scale:
+            return problem, None
+        return equilibrate(problem, min_scale, max_scale)
+
+    row_norms = row_inf_norms(A)
+    zero_rows = np.where(row_norms == 0.0)[0]
+    if zero_rows.size:
+        _check_zero_rows(zero_rows, b)
+        keep = np.setdiff1d(np.arange(m), zero_rows)
+        A = A[keep]
+        b = b[keep]
+        row_norms = row_norms[keep]
+        m = A.shape[0]
+
+    if not scale:
+        return ConicProblem(c=problem.c, A=A, b=b, dims=problem.dims), None
+
+    row_scale = np.ones(m)
+    if m > 0 and A.nnz > 0:
+        norms = row_norms.copy()
+        norms[norms == 0.0] = 1.0
+        row_scale = 1.0 / np.clip(norms, min_scale, max_scale)
+        scaled_data = A.data * np.repeat(row_scale, np.diff(A.indptr))
+        A = sp.csr_matrix((scaled_data, A.indices, A.indptr), shape=A.shape)
+        b = row_scale * b
+
+    c = problem.c.copy()
+    cost_norm = float(np.abs(c).max()) if c.size else 0.0
+    if cost_norm > 0.0:
+        cost_scale = cost_norm
+        c = c / cost_norm
+    else:
+        cost_scale = 1.0
+
+    scaled = ConicProblem(c=c, A=A, b=b, dims=problem.dims)
+    return scaled, ScalingData(row_scale=row_scale, cost_scale=cost_scale)

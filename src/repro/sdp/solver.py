@@ -8,9 +8,10 @@ numerical engine without touching the verification code.
 from __future__ import annotations
 
 import inspect
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from .admm import ADMMConicSolver, ADMMSettings, WarmStart
+from .batch import BatchADMMSolver
 from .problem import ConicProblem
 from .projection import AlternatingProjectionSolver, ProjectionSettings
 from .result import SolverResult
@@ -19,6 +20,7 @@ SolverFactory = Callable[[], object]
 
 _BACKENDS: Dict[str, SolverFactory] = {
     "admm": ADMMConicSolver,
+    "batch_admm": BatchADMMSolver,
     "projection": AlternatingProjectionSolver,
 }
 
@@ -51,6 +53,8 @@ def make_solver(backend: Union[str, object, None] = None, **settings):
         raise KeyError(f"unknown solver backend {backend!r}; available: {available_backends()}")
     if backend == "admm":
         return ADMMConicSolver(ADMMSettings(**settings)) if settings else ADMMConicSolver()
+    if backend == "batch_admm":
+        return BatchADMMSolver(ADMMSettings(**settings)) if settings else BatchADMMSolver()
     if backend == "projection":
         return AlternatingProjectionSolver(ProjectionSettings(**settings)) \
             if settings else AlternatingProjectionSolver()
@@ -73,6 +77,35 @@ def solve_conic_problem(problem: ConicProblem,
     if warm_start is not None and _accepts_warm_start(solver):
         return solver.solve(problem, warm_start=warm_start)
     return solver.solve(problem)
+
+
+def solve_conic_problems(problems: Sequence[ConicProblem],
+                         backend: Union[str, object, None] = None,
+                         warm_starts: Optional[Sequence[Optional[WarmStart]]] = None,
+                         **settings) -> List[SolverResult]:
+    """Solve a batch of structurally identical conic problems.
+
+    The ADMM backend (the default) routes the whole batch through
+    :class:`~repro.sdp.batch.BatchADMMSolver` — one iteration loop, stacked
+    cone projections, multi-RHS KKT solves and per-problem convergence
+    masking.  Other backends are solved sequentially with per-problem warm
+    starts.  Per-problem statuses match solving each problem alone.
+    """
+    problems = list(problems)
+    if warm_starts is None:
+        warm_starts = [None] * len(problems)
+    warm_starts = list(warm_starts)
+    if len(warm_starts) != len(problems):
+        raise ValueError("warm_starts must align with problems")
+    if backend is None or backend in ("admm", "batch_admm"):
+        solver = BatchADMMSolver(ADMMSettings(**settings)) if settings else BatchADMMSolver()
+        return solver.solve_batch(problems, warm_starts)
+    if isinstance(backend, BatchADMMSolver):
+        return backend.solve_batch(problems, warm_starts)
+    if isinstance(backend, ADMMConicSolver):
+        return BatchADMMSolver(backend.settings).solve_batch(problems, warm_starts)
+    return [solve_conic_problem(problem, backend=backend, warm_start=ws, **settings)
+            for problem, ws in zip(problems, warm_starts)]
 
 
 def _accepts_warm_start(solver: object) -> bool:

@@ -8,7 +8,10 @@ from .program import (
     SOSProgram,
     SOSProgramError,
     SOSSolution,
+    compile_counters,
+    reset_compile_counters,
 )
+from .parametric import ParametricProgramError, ParametricSOSProgram
 from .sprocedure import (
     SemialgebraicSet,
     SProcedureCertificate,
@@ -30,6 +33,10 @@ __all__ = [
     "SOSProgram",
     "SOSProgramError",
     "SOSSolution",
+    "ParametricSOSProgram",
+    "ParametricProgramError",
+    "compile_counters",
+    "reset_compile_counters",
     "SOSConstraint",
     "SOSCertificate",
     "EqualityConstraint",

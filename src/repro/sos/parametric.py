@@ -1,0 +1,210 @@
+"""Parametric SOS programs: compile a θ-indexed family once, rebind cheaply.
+
+The verification pipeline repeatedly solves SOS feasibility queries that
+differ only in one scalar parameter — the candidate level ``θ`` of a
+level-curve maximisation enters the Lemma-1 certificate affinely through
+``λ·(V − θ)``.  Constructing and compiling a fresh :class:`SOSProgram` for
+every bisection probe repeats identical structural work; the conic data is
+really an affine family
+
+    A(θ) = A0 + θ·A1,        b(θ) = b0 + θ·b1,
+
+over a fixed cone and cost vector.  :class:`ParametricSOSProgram` recovers
+``(A0, A1, b0, b1)`` from two structural compiles at distinct probe values
+(optionally verifying affinity at a third), aligns both matrices on the union
+sparsity pattern, and thereafter :meth:`bind` assembles the problem for any
+``θ`` with a single ``data0 + θ·data1`` array operation — no polynomial
+arithmetic, no coefficient matching, no Gram-table work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..sdp import ConicProblem, SolverResult
+from .program import SOSProgram, SOSSolution
+
+BuildResult = Union[SOSProgram, Tuple[SOSProgram, Any]]
+
+
+class ParametricProgramError(RuntimeError):
+    """Raised when a θ-family is structurally inconsistent or not affine."""
+
+
+class ParametricSOSProgram:
+    """A family of SOS programs ``θ -> program(θ)`` compiled once.
+
+    ``build`` is a callable mapping a float ``θ`` to either an
+    :class:`SOSProgram` or a ``(program, payload)`` pair; it must construct
+    the *same structure* (same constraints, same templates, same ordering)
+    for every ``θ``, with ``θ`` entering the conic data affinely.  The
+    program built at ``probes[0]`` is kept as the canonical template for
+    interpreting solver results (variable layout is identical across the
+    family); its payload — e.g. a multiplier template — is exposed as
+    :attr:`payload`.
+    """
+
+    def __init__(self, build: Callable[[float], BuildResult],
+                 probes: Tuple[float, float] = (0.0, 1.0),
+                 check_affinity: bool = True,
+                 name: str = "parametric_sos"):
+        if float(probes[0]) == float(probes[1]):
+            raise ValueError("probe values must be distinct")
+        self.name = name
+        self._build = build
+        self._probes = (float(probes[0]), float(probes[1]))
+        self._check_affinity = check_affinity
+        self._compiled = False
+        self._program: Optional[SOSProgram] = None
+        self._payload: Any = None
+        #: Number of full structural compiles performed (2, or 3 with the
+        #: affinity check) — bisection probes through :meth:`bind` add zero.
+        self.num_structure_compiles = 0
+        #: Number of :meth:`bind` calls served from the affine decomposition.
+        self.num_binds = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def program(self) -> SOSProgram:
+        """The canonical template program (built at the first probe)."""
+        self.compile()
+        assert self._program is not None
+        return self._program
+
+    @property
+    def payload(self) -> Any:
+        """Whatever the build callable returned alongside the canonical program."""
+        self.compile()
+        return self._payload
+
+    @property
+    def conic_shape(self) -> Tuple[int, int]:
+        """``(rows, cols)`` of the bound constraint matrix (compiles if needed)."""
+        self.compile()
+        return self._shape
+
+    @property
+    def dims(self):
+        """Cone dimensions of the bound problems (compiles if needed)."""
+        self.compile()
+        return self._dims
+
+    # ------------------------------------------------------------------
+    def _build_at(self, theta: float) -> Tuple[SOSProgram, Any, ConicProblem]:
+        built = self._build(theta)
+        if isinstance(built, tuple):
+            program, payload = built
+        else:
+            program, payload = built, None
+        problem = program.compile()[0].build()
+        self.num_structure_compiles += 1
+        return program, payload, problem
+
+    @staticmethod
+    def _union_align(A_first: sp.csr_matrix, A_second: sp.csr_matrix,
+                     shape: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray,
+                                                      np.ndarray, np.ndarray]:
+        """Expand two matrices onto their shared union sparsity pattern.
+
+        Both outputs are built from the same concatenated COO index arrays,
+        so after duplicate-summing they are guaranteed to share ``indptr``
+        and ``indices`` (explicit zeros where only the other matrix has an
+        entry are retained, not pruned).
+        """
+        coo_first = A_first.tocoo()
+        coo_second = A_second.tocoo()
+        rows = np.concatenate([coo_first.row, coo_second.row])
+        cols = np.concatenate([coo_first.col, coo_second.col])
+        data_first = np.concatenate([coo_first.data, np.zeros(coo_second.nnz)])
+        data_second = np.concatenate([np.zeros(coo_first.nnz), coo_second.data])
+        first = sp.csr_matrix((data_first, (rows, cols)), shape=shape)
+        second = sp.csr_matrix((data_second, (rows, cols)), shape=shape)
+        first.sum_duplicates()
+        second.sum_duplicates()
+        first.sort_indices()
+        second.sort_indices()
+        if not (np.array_equal(first.indptr, second.indptr)
+                and np.array_equal(first.indices, second.indices)):
+            raise ParametricProgramError("union sparsity alignment failed")
+        return first.indptr, first.indices, first.data, second.data
+
+    def compile(self) -> "ParametricSOSProgram":
+        """Perform the structural compiles and the affine decomposition (once)."""
+        if self._compiled:
+            return self
+        theta_a, theta_b = self._probes
+        program_a, payload, problem_a = self._build_at(theta_a)
+        _, _, problem_b = self._build_at(theta_b)
+
+        if problem_a.dims != problem_b.dims or problem_a.A.shape != problem_b.A.shape:
+            raise ParametricProgramError(
+                f"family {self.name!r} is not structurally stable across theta: "
+                f"{problem_a.describe()} vs {problem_b.describe()}"
+            )
+        if not np.allclose(problem_a.c, problem_b.c):
+            raise ParametricProgramError(
+                f"family {self.name!r} has a theta-dependent cost vector; only "
+                "affine constraint data is supported"
+            )
+
+        span = theta_b - theta_a
+        A1 = ((problem_b.A - problem_a.A) * (1.0 / span)).tocsr()
+        A0 = (problem_a.A - A1.multiply(theta_a)).tocsr()
+        b1 = (problem_b.b - problem_a.b) / span
+        b0 = problem_a.b - theta_a * b1
+
+        self._shape = problem_a.A.shape
+        self._indptr, self._indices, self._data0, self._data1 = \
+            self._union_align(A0, A1, self._shape)
+        self._b0, self._b1 = b0, b1
+        self._c = problem_a.c
+        self._dims = problem_a.dims
+        self._program = program_a
+        self._payload = payload
+        self._compiled = True
+
+        if self._check_affinity:
+            theta_c = theta_a + 0.5 * span
+            _, _, problem_c = self._build_at(theta_c)
+            bound = self.bind(theta_c)
+            self.num_binds -= 1  # verification probe, not a user bind
+            scale = 1.0 + float(np.abs(bound.A.data).max(initial=0.0))
+            difference = abs(problem_c.A - bound.A)
+            max_difference = float(difference.data.max(initial=0.0)) if difference.nnz else 0.0
+            if max_difference > 1e-9 * scale or \
+                    not np.allclose(problem_c.b, bound.b, atol=1e-9 * scale):
+                raise ParametricProgramError(
+                    f"family {self.name!r} is not affine in theta "
+                    f"(midpoint deviation {max_difference:.2e})"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    def bind(self, theta: float) -> ConicProblem:
+        """Assemble the conic problem at ``theta`` — a pure array operation."""
+        self.compile()
+        theta = float(theta)
+        data = self._data0 + theta * self._data1
+        A = sp.csr_matrix((data, self._indices, self._indptr), shape=self._shape)
+        self.num_binds += 1
+        return ConicProblem(c=self._c, A=A, b=self._b0 + theta * self._b1,
+                            dims=self._dims)
+
+    def bind_many(self, thetas: Sequence[float]) -> List[ConicProblem]:
+        """Assemble one problem per value — feed these to ``solve_conic_problems``."""
+        return [self.bind(theta) for theta in thetas]
+
+    # ------------------------------------------------------------------
+    def interpret(self, result: SolverResult,
+                  with_certificates: bool = False) -> SOSSolution:
+        """Map a solver result of a bound problem back onto the template.
+
+        The variable layout is identical across the family, so the canonical
+        program's decision-variable extraction applies verbatim.  Gram
+        certificates are skipped by default (the template's numeric data is
+        the first probe's, not the bound ``theta``'s).
+        """
+        return self.program.interpret_result(result, with_certificates=with_certificates)

@@ -51,6 +51,23 @@ class SOSProgramError(RuntimeError):
     """Raised when an SOS program is malformed or cannot be compiled."""
 
 
+# Process-wide compile accounting.  ``full`` counts actual coefficient-matching
+# assemblies; ``memoised`` counts compile() calls served from a program's cache.
+# The parametric-solve layer asserts against these counters that a bound
+# bisection query never triggers a recompile.
+_COMPILE_COUNTERS = {"full": 0, "memoised": 0}
+
+
+def compile_counters() -> Dict[str, int]:
+    """Snapshot of the process-wide SOS compile counters."""
+    return dict(_COMPILE_COUNTERS)
+
+
+def reset_compile_counters() -> None:
+    for key in _COMPILE_COUNTERS:
+        _COMPILE_COUNTERS[key] = 0
+
+
 @dataclass(frozen=True)
 class _SOSRowPlan:
     """Precomputed coefficient-matching layout for one (basis, support) pair.
@@ -347,7 +364,9 @@ class SOSProgram:
         only refill numeric coefficients.
         """
         if self._compiled is not None:
+            _COMPILE_COUNTERS["memoised"] += 1
             return self._compiled
+        _COMPILE_COUNTERS["full"] += 1
         builder = ConicProblemBuilder()
         decision_order = self._decision_order()
         var_location: Dict[DecisionVariable, Tuple[int, int]] = {}
@@ -486,6 +505,21 @@ class SOSProgram:
 
         result = solve_conic_problem(problem, backend=backend,
                                      warm_start=warm_start, **solver_settings)
+        return self.interpret_result(result, compile_time=compile_time)
+
+    def interpret_result(self, result: SolverResult, compile_time: float = 0.0,
+                         with_certificates: bool = True) -> SOSSolution:
+        """Turn a raw conic :class:`SolverResult` into an :class:`SOSSolution`.
+
+        Used by :meth:`solve` and by the parametric-solve layer, where the
+        conic problem was produced by ``bind(theta)`` on this program's
+        structure and solved externally (possibly as part of a batch).
+        ``with_certificates=False`` skips the Gram-certificate extraction —
+        appropriate when the bound problem's numeric expression differs from
+        this template's, so reconstruction errors would be computed against
+        the wrong right-hand sides.
+        """
+        builder, var_location, sos_blocks = self.compile()
 
         assignment: Dict[DecisionVariable, float] = {}
         certificates: Dict[str, SOSCertificate] = {}
@@ -493,23 +527,24 @@ class SOSProgram:
         if result.x is not None:
             for dvar, (block_id, local) in var_location.items():
                 assignment[dvar] = float(builder.block_value(block_id, result.x)[local])
-            for constraint, block_id in sos_blocks:
-                gram = builder.psd_block_matrix(block_id, result.x)
-                poly = constraint.expression.instantiate(assignment) \
-                    if assignment or constraint.expression.is_numeric() \
-                    else constraint.expression.to_polynomial()
-                from ..polynomial.gram import gram_to_polynomial
+            if with_certificates:
+                for constraint, block_id in sos_blocks:
+                    gram = builder.psd_block_matrix(block_id, result.x)
+                    poly = constraint.expression.instantiate(assignment) \
+                        if assignment or constraint.expression.is_numeric() \
+                        else constraint.expression.to_polynomial()
+                    from ..polynomial.gram import gram_to_polynomial
 
-                reconstructed = gram_to_polynomial(poly.variables, constraint.basis, gram)
-                eigenvalues = np.linalg.eigvalsh(0.5 * (gram + gram.T)) if gram.size else np.array([0.0])
-                certificates[constraint.name] = SOSCertificate(
-                    name=constraint.name,
-                    polynomial=poly,
-                    gram=gram,
-                    basis=constraint.basis,
-                    min_eigenvalue=float(eigenvalues.min()),
-                    reconstruction_error=(poly - reconstructed).max_abs_coefficient(),
-                )
+                    reconstructed = gram_to_polynomial(poly.variables, constraint.basis, gram)
+                    eigenvalues = np.linalg.eigvalsh(0.5 * (gram + gram.T)) if gram.size else np.array([0.0])
+                    certificates[constraint.name] = SOSCertificate(
+                        name=constraint.name,
+                        polynomial=poly,
+                        gram=gram,
+                        basis=constraint.basis,
+                        min_eigenvalue=float(eigenvalues.min()),
+                        reconstruction_error=(poly - reconstructed).max_abs_coefficient(),
+                    )
             if self._objective is not None and assignment:
                 objective = self._objective.evaluate(assignment)
 

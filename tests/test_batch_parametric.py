@@ -1,0 +1,250 @@
+"""Tests for the parametric-solve subsystem: ``ParametricSOSProgram``,
+``ParametricInclusionFamily``, ``BatchADMMSolver`` and the batched K-section
+level-set maximiser."""
+
+import numpy as np
+import pytest
+
+from repro.core import LevelSetMaximizer, LevelSetOptions
+from repro.core.inclusion import (
+    ParametricInclusionFamily,
+    build_inclusion_program,
+    check_sublevel_inclusion,
+)
+from repro.polynomial import Polynomial, VariableVector, make_variables
+from repro.sdp import (
+    ADMMConicSolver,
+    ADMMSettings,
+    BatchADMMSolver,
+    ConeDims,
+    ConicProblemBuilder,
+    SolverStatus,
+    project_onto_cone,
+    project_onto_cone_many,
+    solve_conic_problems,
+)
+from repro.sos import (
+    ParametricProgramError,
+    ParametricSOSProgram,
+    SemialgebraicSet,
+    SOSProgram,
+    compile_counters,
+    reset_compile_counters,
+)
+
+
+@pytest.fixture
+def ball_inclusion():
+    """V = x^2 + y^2; {V <= theta} subset of {V <= 4} iff theta <= 4."""
+    x, y = make_variables("x", "y")
+    xv = VariableVector([x, y])
+    px = Polynomial.from_variable(x, xv)
+    py = Polynomial.from_variable(y, xv)
+    V = px * px + py * py
+    return xv, V, V - 4.0
+
+
+def _feasibility_problem(rhs_nonneg, rhs_psd=2.0):
+    builder = ConicProblemBuilder()
+    psd_id, _ = builder.add_psd_block(3)
+    nn_id, _ = builder.add_nonneg_block(1)
+    local, coeff = builder.psd_entry_local_index(psd_id, 0, 0)
+    builder.add_equality_row({(psd_id, local): coeff}, rhs=rhs_psd)
+    local, coeff = builder.psd_entry_local_index(psd_id, 0, 1)
+    builder.add_equality_row({(psd_id, local): coeff}, rhs=0.5)
+    builder.add_equality_row({(nn_id, 0): 1.0}, rhs=rhs_nonneg)
+    return builder.build()
+
+
+class TestProjectOntoConeMany:
+    def test_matches_single_projection(self):
+        dims = ConeDims(free=2, nonneg=3, psd=(3, 3, 2))
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(7, dims.total))
+        batched = project_onto_cone_many(points, dims)
+        for i in range(points.shape[0]):
+            np.testing.assert_allclose(
+                batched[i], project_onto_cone(points[i], dims), atol=1e-12)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            project_onto_cone_many(np.zeros((2, 5)), ConeDims(free=1))
+
+
+class TestBatchADMMSolver:
+    def test_statuses_and_solutions_match_serial(self):
+        problems = [_feasibility_problem(t) for t in (1.0, 2.0, -1.0, 0.3, -0.7)]
+        settings = ADMMSettings(max_iterations=6000)
+        serial = [ADMMConicSolver(settings).solve(p) for p in problems]
+        batch = BatchADMMSolver(settings).solve_batch(problems)
+        for expected, got in zip(serial, batch):
+            assert got.status == expected.status
+            assert got.iterations == expected.iterations
+            if expected.status.is_success:
+                np.testing.assert_allclose(got.x, expected.x, atol=1e-7)
+        assert batch[0].info["batch_size"] == len(problems)
+
+    def test_mixed_structure_falls_back_to_serial(self):
+        builder = ConicProblemBuilder()
+        psd_id, _ = builder.add_psd_block(2)
+        local, coeff = builder.psd_entry_local_index(psd_id, 0, 0)
+        builder.add_equality_row({(psd_id, local): coeff}, rhs=1.0)
+        other = builder.build()
+        problems = [_feasibility_problem(1.0), other]
+        results = BatchADMMSolver().solve_batch(problems)
+        assert all(r.status.is_success for r in results)
+
+    def test_warm_start_reduces_iterations(self):
+        problems = [_feasibility_problem(t) for t in (1.0, 2.0)]
+        solver = BatchADMMSolver(ADMMSettings(max_iterations=6000))
+        cold = solver.solve_batch(problems)
+        warm = solver.solve_batch(
+            problems, [r.info["warm_start_data"] for r in cold])
+        for before, after in zip(cold, warm):
+            assert after.info["warm_started"]
+            assert after.iterations <= before.iterations
+        assert all(r.status.is_success for r in warm)
+
+    def test_empty_batch(self):
+        assert BatchADMMSolver().solve_batch([]) == []
+
+    def test_trivially_infeasible_member(self):
+        builder = ConicProblemBuilder()
+        builder.add_free_block(1)
+        builder.add_equality_row({}, rhs=1.0)  # zero row, nonzero rhs
+        bad = builder.build()
+        results = BatchADMMSolver().solve_batch([_feasibility_problem(1.0), bad])
+        assert results[0].status.is_success
+        assert results[1].status == SolverStatus.INFEASIBLE_SUSPECTED
+
+    def test_solve_conic_problems_dispatch(self):
+        problems = [_feasibility_problem(t) for t in (1.0, 2.0)]
+        results = solve_conic_problems(problems)
+        assert all(r.status.is_success for r in results)
+        # Non-ADMM backends are solved sequentially with the same semantics.
+        results = solve_conic_problems(problems, backend="projection")
+        assert all(r.status.is_success for r in results)
+
+
+class TestParametricSOSProgram:
+    def test_bind_matches_fresh_compile(self, ball_inclusion):
+        _, V, outer = ball_inclusion
+        family = ParametricInclusionFamily(V, outer, multiplier_degree=2)
+        family.compile()
+        for theta in (0.0, 0.7, 2.5, 6.0):
+            program, _, _, _ = build_inclusion_program(V - theta, outer, 2)
+            direct = program.compile()[0].build()
+            bound = family.bind(theta)
+            assert direct.dims == bound.dims
+            np.testing.assert_allclose(direct.A.toarray(), bound.A.toarray(),
+                                       atol=1e-12)
+            np.testing.assert_allclose(direct.b, bound.b, atol=1e-12)
+            np.testing.assert_allclose(direct.c, bound.c, atol=1e-12)
+
+    def test_bind_performs_no_recompilation(self, ball_inclusion):
+        _, V, outer = ball_inclusion
+        family = ParametricInclusionFamily(V, outer, multiplier_degree=2)
+        family.compile()
+        assert family.family.num_structure_compiles == 3  # 2 probes + affinity
+        reset_compile_counters()
+        certificates = family.check_levels([1.0, 2.0, 3.0, 4.5],
+                                           max_iterations=6000)
+        assert compile_counters()["full"] == 0
+        assert family.family.num_binds == 4
+        assert [c.holds for c in certificates] == [True, True, True, False]
+
+    def test_matches_serial_inclusion_check(self, ball_inclusion):
+        _, V, outer = ball_inclusion
+        family = ParametricInclusionFamily(V, outer, multiplier_degree=2)
+        for theta in (1.0, 3.9, 4.5):
+            batched, = family.check_levels([theta], max_iterations=6000)
+            serial = check_sublevel_inclusion(V - theta, outer, 2,
+                                              max_iterations=6000)
+            assert batched.holds == serial.holds
+
+    def test_multiplier_extraction(self, ball_inclusion):
+        _, V, outer = ball_inclusion
+        family = ParametricInclusionFamily(V, outer, multiplier_degree=2)
+        problem = family.bind(1.0)
+        result = solve_conic_problems([problem], max_iterations=6000)[0]
+        certificate = family.interpret(1.0, result, extract_multiplier=True)
+        assert certificate.holds
+        assert certificate.multiplier is not None
+        # Lemma 1: lambda * (V - 1) - (V - 4) must be SOS, so in particular
+        # nonnegative at the origin: lambda(0) * (-1) + 4 >= 0.
+        assert certificate.multiplier.evaluate([0.0, 0.0]) <= 4.0 + 1e-6
+
+    def test_non_affine_family_rejected(self, ball_inclusion):
+        _, V, outer = ball_inclusion
+
+        def build(theta):
+            program, lam, _, _ = build_inclusion_program(V - theta * theta,
+                                                         outer, 2)
+            return program, lam
+
+        family = ParametricSOSProgram(build, probes=(0.0, 1.0))
+        with pytest.raises(ParametricProgramError):
+            family.compile()
+
+    def test_structurally_unstable_family_rejected(self):
+        x, = make_variables("x")
+        xv = VariableVector([x])
+        px = Polynomial.from_variable(x, xv)
+
+        def build(theta):
+            program = SOSProgram()
+            degree = 2 if theta == 0.0 else 4
+            sigma = program.new_sos_polynomial(xv, degree, name="s")
+            program.add_sos_constraint(sigma * (px * px) + theta + 1.0,
+                                       name="main")
+            return program
+
+        family = ParametricSOSProgram(build, probes=(0.0, 1.0))
+        with pytest.raises(ParametricProgramError):
+            family.compile()
+
+    def test_identical_probes_rejected(self, ball_inclusion):
+        _, V, outer = ball_inclusion
+        with pytest.raises(ValueError):
+            ParametricInclusionFamily(V, outer, probes=(1.0, 1.0))
+
+
+class TestBatchedLevelSetMaximizer:
+    def _setup(self):
+        x, y = make_variables("x", "y")
+        xv = VariableVector([x, y])
+        px = Polynomial.from_variable(x, xv)
+        py = Polynomial.from_variable(y, xv)
+        V = px * px + 2 * py * py
+        domain = SemialgebraicSet(
+            variables=xv,
+            inequalities=(4.0 - px * px - py * py, 3.0 - px * px),
+        )
+        return V, domain
+
+    def test_matches_serial_bisection(self):
+        V, domain = self._setup()
+        common = dict(bisection_tolerance=0.05, initial_upper_bound=5.0,
+                      solver_settings=dict(max_iterations=4000))
+        serial = LevelSetMaximizer(LevelSetOptions(
+            strategy="serial", **common)).maximize("m", V, domain)
+        batched = LevelSetMaximizer(LevelSetOptions(
+            strategy="batched", **common)).maximize("m", V, domain)
+        # Both strategies terminate with a certified bracket of width <= tol
+        # around the same optimum, so the levels agree within the tolerance.
+        assert abs(serial.level - batched.level) <= 0.05 + 1e-9
+        assert batched.level > 0
+        assert batched.certified_levels
+        assert batched.rejected_levels
+        # K-section needs strictly fewer rounds than bisection.
+        assert batched.iterations <= serial.iterations
+
+    def test_expansion_when_initial_upper_is_certified(self):
+        V, domain = self._setup()
+        options = LevelSetOptions(strategy="batched", bisection_tolerance=0.05,
+                                  initial_upper_bound=0.25,
+                                  solver_settings=dict(max_iterations=4000))
+        result = LevelSetMaximizer(options).maximize("m", V, domain)
+        # The true optimum is ~2.99, far above the initial bound of 0.25: the
+        # expansion ladder must have grown the bracket past it.
+        assert result.level > 2.5

@@ -7,20 +7,25 @@ from repro.sdp import (
     ADMMConicSolver,
     ADMMSettings,
     AlternatingProjectionSolver,
+    BatchADMMSolver,
     ConeDims,
     ConicProblem,
     ConicProblemBuilder,
+    SolverResult,
     SolverStatus,
     available_backends,
     cone_violation,
     drop_zero_rows,
     equilibrate,
     make_solver,
+    presolve,
     project_onto_cone,
+    row_inf_norms,
     smat,
     solve_conic_problem,
     svec,
     svec_dim,
+    unpack_warm_start,
 )
 
 
@@ -169,3 +174,121 @@ class TestSolvers:
         # satisfies the scaled equalities too.
         result = solve_conic_problem(problem)
         assert scaled.equality_residual(result.x) <= 1e-4
+
+    def test_backend_registry_batch_admm(self):
+        assert "batch_admm" in available_backends()
+        solver = make_solver("batch_admm", max_iterations=10)
+        assert isinstance(solver, BatchADMMSolver)
+
+    def test_dual_residual_reported(self):
+        """The final ADMM dual residual must be a number, not a NaN placeholder."""
+        _, _, problem = _simple_sdp_problem()
+        result = ADMMConicSolver(ADMMSettings(max_iterations=8000)).solve(problem)
+        assert np.isfinite(result.dual_residual)
+        assert result.dual_residual >= 0.0
+
+
+class TestPresolve:
+    def test_row_inf_norms(self):
+        builder = ConicProblemBuilder()
+        free_id, _ = builder.add_free_block(2)
+        builder.add_equality_row({(free_id, 0): -3.0, (free_id, 1): 2.0}, rhs=1.0)
+        builder.add_equality_row({(free_id, 1): 0.5}, rhs=0.0)
+        problem = builder.build()
+        np.testing.assert_allclose(row_inf_norms(problem.A), [3.0, 0.5])
+
+    def test_presolve_equals_drop_then_equilibrate(self):
+        _, _, problem = _simple_sdp_problem()
+        reference, reference_scaling = equilibrate(drop_zero_rows(problem))
+        combined, combined_scaling = presolve(problem)
+        np.testing.assert_allclose(reference.A.toarray(), combined.A.toarray())
+        np.testing.assert_allclose(reference.b, combined.b)
+        np.testing.assert_allclose(reference.c, combined.c)
+        np.testing.assert_allclose(reference_scaling.row_scale,
+                                   combined_scaling.row_scale)
+        assert reference_scaling.cost_scale == combined_scaling.cost_scale
+
+    def test_presolve_unscaled(self):
+        _, _, problem = _simple_sdp_problem()
+        unscaled, scaling = presolve(problem, scale=False)
+        assert scaling is None
+        np.testing.assert_allclose(unscaled.A.toarray(), problem.A.toarray())
+
+    def test_presolve_rejects_trivially_infeasible(self):
+        builder = ConicProblemBuilder()
+        builder.add_free_block(1)
+        builder.add_equality_row({}, rhs=1.0)
+        with pytest.raises(ValueError):
+            presolve(builder.build())
+
+
+class TestUnpackWarmStart:
+    def test_dict_form(self):
+        parts = {"x": np.ones(3), "z": np.zeros(3), "u": np.full(3, 2.0)}
+        x, z, u = unpack_warm_start(parts, 3)
+        np.testing.assert_allclose(x, 1.0)
+        np.testing.assert_allclose(z, 0.0)
+        np.testing.assert_allclose(u, 2.0)
+        # The returned arrays are copies: mutating them must not leak back.
+        x[0] = 99.0
+        assert parts["x"][0] == 1.0
+
+    def test_tuple_form(self):
+        x, z, u = unpack_warm_start((np.ones(2), np.zeros(2), np.ones(2)), 2)
+        np.testing.assert_allclose(x, [1.0, 1.0])
+        np.testing.assert_allclose(u, [1.0, 1.0])
+
+    def test_solver_result_form(self):
+        data = {"x": np.ones(2), "z": np.ones(2), "u": np.zeros(2)}
+        result = SolverResult(status=SolverStatus.FEASIBLE,
+                              info={"warm_start_data": data})
+        unpacked = unpack_warm_start(result, 2)
+        assert unpacked is not None
+        np.testing.assert_allclose(unpacked[0], [1.0, 1.0])
+
+    def test_solver_result_without_data(self):
+        result = SolverResult(status=SolverStatus.FEASIBLE)
+        assert unpack_warm_start(result, 2) is None
+
+    def test_none_passthrough(self):
+        assert unpack_warm_start(None, 5) is None
+
+    def test_dimension_mismatch_rejected(self):
+        parts = {"x": np.ones(3), "z": np.zeros(3), "u": np.zeros(3)}
+        assert unpack_warm_start(parts, 4) is None
+
+    def test_missing_component_rejected(self):
+        assert unpack_warm_start({"x": np.ones(2), "z": np.ones(2)}, 2) is None
+
+    def test_wrong_tuple_length_rejected(self):
+        assert unpack_warm_start((np.ones(2), np.ones(2)), 2) is None
+
+
+class TestInfeasibilityDetection:
+    def _infeasible_problem(self):
+        builder = ConicProblemBuilder()
+        nn_id, _ = builder.add_nonneg_block(1)
+        psd_id, _ = builder.add_psd_block(2)
+        local, coeff = builder.psd_entry_local_index(psd_id, 0, 0)
+        builder.add_equality_row({(psd_id, local): coeff}, rhs=1.0)
+        builder.add_equality_row({(nn_id, 0): 1.0}, rhs=-1.0)
+        return builder.build()
+
+    def test_stall_detection_flags_infeasible(self):
+        """With the plateau detector off, the stall window must still fire."""
+        settings = ADMMSettings(max_iterations=8000, stall_window=500,
+                                infeasibility_detection=False)
+        result = ADMMConicSolver(settings).solve(self._infeasible_problem())
+        assert result.status == SolverStatus.INFEASIBLE_SUSPECTED
+        assert result.iterations < 8000
+
+    def test_plateau_detector_fires_before_stall_window(self):
+        settings = ADMMSettings(max_iterations=20000)
+        result = ADMMConicSolver(settings).solve(self._infeasible_problem())
+        assert result.status == SolverStatus.INFEASIBLE_SUSPECTED
+        assert result.iterations < settings.stall_window
+
+    def test_detector_does_not_reject_feasible(self):
+        _, _, problem = _simple_sdp_problem()
+        result = ADMMConicSolver(ADMMSettings(max_iterations=8000)).solve(problem)
+        assert result.status.is_success
