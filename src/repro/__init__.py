@@ -22,6 +22,13 @@ Subpackages
     inevitability verification pipeline.
 ``repro.analysis``
     Projections, sampling-based validation and falsification utilities.
+``repro.scenarios``
+    Declarative registry of verification workloads (PLLs, buck converter,
+    continuous polynomial systems) consumed by the engine and the CLI.
+``repro.engine``
+    Parallel verification engine: per-scenario job DAGs over a process pool
+    with a persistent content-addressed certificate cache
+    (``python -m repro``).
 """
 
 from .exceptions import CertificateError, ModelError, ReproError, VerificationInconclusive

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro {list,verify,report}``.
+
+* ``list`` — show the registered scenarios (text or ``--json``).
+* ``verify <scenario>...`` — run the verification engine on the named
+  scenarios (``all`` / ``fast`` select groups), with ``--jobs N`` for the
+  process pool, ``--no-cache`` to bypass the persistent certificate cache
+  and ``--json PATH`` to write the full machine-readable report.
+* ``report`` — re-render the JSON report written by the last ``verify``.
+
+Exit status: 0 when every verified scenario matched its registered expected
+outcome, 1 otherwise (and 2 for usage errors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import EngineOptions, VerificationEngine, default_cache_dir
+from .scenarios import all_scenarios, fast_scenario_names, scenario_names
+
+#: Where ``verify`` drops its JSON report for a later ``report`` invocation.
+LAST_REPORT_NAME = "last_report.json"
+
+
+def _default_report_path(cache_dir: Optional[str]) -> Path:
+    root = Path(cache_dir) if cache_dir else default_cache_dir()
+    return root / LAST_REPORT_NAME
+
+
+def _resolve_scenarios(names: Sequence[str]) -> List[str]:
+    known = set(scenario_names())
+    resolved: List[str] = []
+    for name in names:
+        if name == "all":
+            resolved.extend(scenario_names())
+        elif name == "fast":
+            resolved.extend(fast_scenario_names())
+        elif name in known:
+            resolved.append(name)
+        else:
+            print(f"error: unknown scenario {name!r}; available: "
+                  f"{', '.join(scenario_names())} (or 'all' / 'fast')",
+                  file=sys.stderr)
+            raise SystemExit(2)  # usage error, distinct from a mismatch (1)
+    seen = set()
+    unique = []
+    for name in resolved:
+        if name not in seen:
+            seen.add(name)
+            unique.append(name)
+    return unique
+
+
+# ----------------------------------------------------------------------
+def cmd_list(args: argparse.Namespace) -> int:
+    rows = [spec.summary_row() for spec in all_scenarios()]
+    if args.json:
+        json.dump({"scenarios": rows}, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    width = max(len(row["name"]) for row in rows) + 2
+    print(f"{len(rows)} registered scenarios:")
+    for row in rows:
+        tags = ",".join(row["tags"]) or "-"
+        fast = " [fast]" if row["fast"] else ""
+        print(f"  {row['name']:<{width}} degree={row['degree']} "
+              f"expected={row['expected']:<13} tags={tags}{fast}")
+        print(f"  {'':<{width}} {row['description']}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    scenarios = _resolve_scenarios(args.scenarios)
+    if not scenarios:
+        print("nothing to verify", file=sys.stderr)
+        return 2
+    options = EngineOptions(
+        jobs=max(1, args.jobs),
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        job_timeout=args.timeout,
+        seed=args.seed,
+    )
+    engine = VerificationEngine(options)
+    print(f"verifying {', '.join(scenarios)} "
+          f"(jobs={options.jobs}, cache={'on' if options.use_cache else 'off'})")
+    report = engine.run(scenarios)
+
+    for outcome in report.outcomes:
+        print()
+        print(outcome.report.render_text())
+    print()
+    print(report.render_text())
+
+    payload = report.to_json_dict()
+    json_path = Path(args.json) if args.json else _default_report_path(args.cache_dir)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"JSON report written to {json_path}")
+    return 0 if report.all_match_expected else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    path = Path(args.input) if args.input else _default_report_path(args.cache_dir)
+    if not path.exists():
+        print(f"error: no report at {path}; run 'python -m repro verify' first",
+              file=sys.stderr)
+        return 2
+    with open(path) as handle:
+        payload = json.load(handle)
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    engine_info = payload.get("engine", {})
+    print(f"Engine report ({path})")
+    print(f"  jobs={engine_info.get('jobs')} "
+          f"cache={'on' if engine_info.get('use_cache') else 'off'} "
+          f"wall={engine_info.get('wall_seconds', 0):.1f}s "
+          f"solves={engine_info.get('counters', {}).get('solved', 0)} "
+          f"cache_hits={engine_info.get('counters', {}).get('cache_hit', 0)}")
+    ok = True
+    for scenario in payload.get("scenarios", []):
+        matches = scenario.get("matches_expected")
+        ok = ok and bool(matches)
+        verdict = "MATCH" if matches else "MISMATCH"
+        rep = scenario.get("report", {})
+        print(f"  [{verdict}] {scenario.get('scenario')}: "
+              f"inevitability={rep.get('inevitability')} "
+              f"(expected {scenario.get('expected')})")
+        for job in scenario.get("jobs", []):
+            print(f"      {job.get('job_id'):40s} {job.get('status'):8s} "
+                  f"{job.get('seconds', 0.0):7.2f}s")
+    return 0 if ok else 1
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SOS-based inevitability verification: scenario registry, "
+                    "parallel engine and certificate cache.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list.add_argument("--json", action="store_true",
+                        help="emit the listing as JSON")
+    p_list.set_defaults(func=cmd_list)
+
+    p_verify = sub.add_parser("verify", help="run the verification engine")
+    p_verify.add_argument("scenarios", nargs="+",
+                          help="scenario names (or 'all' / 'fast')")
+    p_verify.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes (1 = run inline)")
+    p_verify.add_argument("--no-cache", action="store_true",
+                          help="bypass the persistent certificate cache")
+    p_verify.add_argument("--cache-dir", default=None,
+                          help="cache location (default: $REPRO_CACHE_DIR or "
+                               "~/.cache/repro-pll-sos)")
+    p_verify.add_argument("--timeout", type=float, default=None, metavar="S",
+                          help="per-job timeout in seconds (pool runs)")
+    p_verify.add_argument("--seed", type=int, default=0,
+                          help="random seed for the falsification cross-check")
+    p_verify.add_argument("--json", default=None, metavar="PATH",
+                          help="write the JSON report here "
+                               "(default: <cache>/last_report.json)")
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_report = sub.add_parser("report",
+                              help="re-render the last verification report")
+    p_report.add_argument("--input", default=None, metavar="PATH",
+                          help="JSON report to render (default: the last "
+                               "'verify' output)")
+    p_report.add_argument("--cache-dir", default=None,
+                          help="cache location used to find the default report")
+    p_report.add_argument("--json", action="store_true",
+                          help="dump the raw JSON instead of text")
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ from .falsification import (
     check_certificate_decrease_along_trajectories,
     check_invariant_convergence,
     random_initial_states,
+    run_falsification,
     simulate_relay_abstraction,
 )
 from .timing import StageTimer
@@ -19,5 +20,6 @@ __all__ = [
     "check_invariant_convergence",
     "check_certificate_decrease_along_trajectories",
     "random_initial_states",
+    "run_falsification",
     "StageTimer",
 ]

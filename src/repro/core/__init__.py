@@ -39,6 +39,7 @@ from .report import (
     STEP_ADVECTION,
     STEP_ATTRACTIVE_INVARIANT,
     STEP_ESCAPE,
+    STEP_FALSIFICATION_CHECK,
     STEP_MAX_LEVEL_CURVES,
     STEP_SET_INCLUSION,
     TABLE2_STEP_ORDER,
@@ -83,6 +84,7 @@ __all__ = [
     "STEP_ADVECTION",
     "STEP_SET_INCLUSION",
     "STEP_ESCAPE",
+    "STEP_FALSIFICATION_CHECK",
     "InevitabilityOptions",
     "InevitabilityVerifier",
 ]

@@ -47,6 +47,122 @@ from .report import (
 LOGGER = get_logger("core.inevitability")
 
 
+def advection_mode_names(options: "InevitabilityOptions", system) -> Tuple[str, ...]:
+    """Modes whose outer-set advection is required by Property 2.
+
+    Shared by :class:`InevitabilityVerifier` and the job engine so both
+    always select the same modes: an explicit ``advection_modes`` override,
+    else every mode except the idle mode.
+    """
+    if options.advection_modes is not None:
+        return tuple(options.advection_modes)
+    return tuple(name for name in system.mode_names if name != MODE_IDLE)
+
+
+def run_mode_property_two(model, options: "InevitabilityOptions",
+                          mode_name: str, invariant: AttractiveInvariant,
+                          ) -> Tuple[ModePropertyTwoResult, Dict[str, float]]:
+    """Property-2 evidence for one mode: advection, inclusion re-check, escape.
+
+    The single source of the per-mode Property-2 pipeline, shared by
+    :class:`InevitabilityVerifier` (which runs it for every pumping mode) and
+    the job engine (which runs it as one job per mode).  ``model`` is anything
+    with the verification-model interface.  Returns the mode result plus the
+    wall-clock of each stage (keys ``"advection"``, ``"inclusion"`` and —
+    only when an escape search ran — ``"escape"``).
+    """
+    outer = model.outer_set_polynomial(margin=options.outer_set_margin)
+    field_polys = model.nominal_fields()[mode_name]
+    domain = model.mode_domain(mode_name)
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    advection = run_bounded_advection(
+        mode_name, outer, field_polys, invariant, domain=domain,
+        options=options.advection)
+    timings["advection"] = time.perf_counter() - start
+
+    # Dedicated inclusion re-check of the final advected set (Table 2 row).
+    start = time.perf_counter()
+    final_abs: Optional[str] = None
+    for target_name, sublevel in invariant.sublevel_polynomials().items():
+        inclusion = check_sublevel_inclusion(
+            advection.final_polynomial, sublevel,
+            multiplier_degree=options.advection.inclusion_multiplier_degree,
+            domain=domain,
+            solver_backend=options.advection.solver_backend,
+            **options.advection.solver_settings,
+        )
+        if inclusion.holds:
+            final_abs = target_name
+            break
+    timings["inclusion"] = time.perf_counter() - start
+
+    if advection.converged or final_abs is not None:
+        return ModePropertyTwoResult(
+            mode_name=mode_name, advection=advection, escape=None,
+            status=VerificationStatus.VERIFIED,
+            message=f"advected set absorbed by level set of "
+                    f"{advection.absorbing_mode or final_abs}",
+        ), timings
+
+    # Advection inconclusive: Algorithm 1 lines 13-21 (escape certificate).
+    if not options.attempt_escape_on_inconclusive:
+        return ModePropertyTwoResult(
+            mode_name=mode_name, advection=advection, escape=None,
+            status=VerificationStatus.INCONCLUSIVE,
+            message="advection did not immerse and escape search disabled",
+        ), timings
+
+    own_level = invariant.level_set(mode_name) if mode_name in invariant.level_sets \
+        else next(iter(invariant.level_sets.values()))
+    escape_region = escape_region_from_advection(
+        advection.final_polynomial, own_level.sublevel_polynomial,
+        region_box=model.region_box_set(),
+    )
+    synthesizer = EscapeCertificateSynthesizer(options.escape)
+    start = time.perf_counter()
+    try:
+        escape = synthesizer.synthesize(
+            mode_name, field_polys, escape_region,
+            bounds=model.state_bounds(),
+        )
+        timings["escape"] = time.perf_counter() - start
+        mode_status = VerificationStatus.VERIFIED if escape.validation_passed \
+            else VerificationStatus.FAILED
+        return ModePropertyTwoResult(
+            mode_name=mode_name, advection=advection, escape=escape,
+            status=mode_status,
+            message="escape certificate covers the inconclusive sub-region",
+        ), timings
+    except CertificateError as exc:
+        timings["escape"] = time.perf_counter() - start
+        return ModePropertyTwoResult(
+            mode_name=mode_name, advection=advection, escape=None,
+            status=VerificationStatus.INCONCLUSIVE, message=str(exc),
+        ), timings
+
+
+def levelset_domain_for(model, options: "InevitabilityOptions",
+                        mode_name: str) -> SemialgebraicSet:
+    """Domain over which ``mode_name``'s level curve is maximised.
+
+    ``model`` is anything with the verification-model interface
+    (``system``, ``region_box_set``, ``state_bounds``).  Shared by
+    :class:`InevitabilityVerifier` and the job engine — see
+    :attr:`InevitabilityOptions.levelset_domain` for the semantics.
+    """
+    if options.levelset_domain == "box":
+        return model.region_box_set(name="levelset_box")
+    if options.levelset_domain != "mode":
+        raise ValueError(
+            f"unknown levelset_domain {options.levelset_domain!r}; "
+            "expected 'mode' or 'box'")
+    synthesizer = MultipleLyapunovSynthesizer(model.system,
+                                              options=options.lyapunov)
+    return synthesizer.mode_domain(mode_name)
+
+
 @dataclass
 class InevitabilityOptions:
     """Aggregated options for the four verification stages."""
@@ -59,6 +175,15 @@ class InevitabilityOptions:
     outer_set_margin: float = 1.0
     verify_property_two: bool = True
     attempt_escape_on_inconclusive: bool = True
+    # Domain over which each mode's level curve is maximised: ``"mode"`` uses
+    # the mode's flow set intersected with the region box (the historical
+    # behaviour), ``"box"`` uses the region box alone.  ``"mode"`` is overly
+    # strong for modes whose flow set touches the equilibrium (a sub-level
+    # neighbourhood of the equilibrium can never sit inside a half-space
+    # through it), so workloads with switching surfaces through the
+    # equilibrium — the CP PLL pumping modes, sliding-mode converters —
+    # should use ``"box"``.
+    levelset_domain: str = "mode"
 
 
 class InevitabilityVerifier:
@@ -93,7 +218,7 @@ class InevitabilityVerifier:
         maximizer = LevelSetMaximizer(self.options.levelset)
         certificates = {name: cert.certificate
                         for name, cert in lyapunov.certificates.items()}
-        domains = {name: cert.domain for name, cert in lyapunov.certificates.items()}
+        domains = self.levelset_domains(lyapunov)
         start = time.perf_counter()
         try:
             invariant = AttractiveInvariant.from_maximization(
@@ -116,100 +241,40 @@ class InevitabilityVerifier:
             message="attractive invariant constructed",
         )
 
+    def levelset_domains(self, lyapunov: LyapunovResult) -> Dict[str, SemialgebraicSet]:
+        """Per-mode domains for level-curve maximisation (see ``levelset_domain``)."""
+        if self.options.levelset_domain == "mode":
+            # The certificates already carry their synthesis-time mode domains.
+            return {name: cert.domain
+                    for name, cert in lyapunov.certificates.items()}
+        return {name: levelset_domain_for(self.model, self.options, name)
+                for name in lyapunov.certificates}
+
     # ------------------------------------------------------------------
     # Stage 3 + 4: Property 2
     # ------------------------------------------------------------------
     def _advection_mode_names(self) -> Tuple[str, ...]:
-        if self.options.advection_modes is not None:
-            return tuple(self.options.advection_modes)
-        return tuple(name for name in self.model.system.mode_names if name != MODE_IDLE)
+        return advection_mode_names(self.options, self.model.system)
 
     def verify_property_two(self, invariant: AttractiveInvariant,
                             report: VerificationReport) -> PropertyTwoResult:
-        outer = self.model.outer_set_polynomial(margin=self.options.outer_set_margin)
-        nominal_fields = self.model.nominal_fields()
         per_mode: Dict[str, ModePropertyTwoResult] = {}
         status = VerificationStatus.VERIFIED
 
         for mode_name in self._advection_mode_names():
-            field_polys = nominal_fields[mode_name]
-            domain = self.model.mode_domain(mode_name)
-
-            start = time.perf_counter()
-            advection = run_bounded_advection(
-                mode_name, outer, field_polys, invariant, domain=domain,
-                options=self.options.advection,
-            )
-            report.add_timing(
-                STEP_ADVECTION, time.perf_counter() - start,
-                detail=f"{mode_name}: {advection.iterations_used} iterations",
-            )
-
-            # Dedicated inclusion re-check of the final advected set (Table 2 row).
-            start = time.perf_counter()
-            final_abs = None
-            for target_name, sublevel in invariant.sublevel_polynomials().items():
-                inclusion = check_sublevel_inclusion(
-                    advection.final_polynomial, sublevel,
-                    multiplier_degree=self.options.advection.inclusion_multiplier_degree,
-                    domain=domain,
-                    solver_backend=self.options.advection.solver_backend,
-                    **self.options.advection.solver_settings,
-                )
-                if inclusion.holds:
-                    final_abs = target_name
-                    break
-            report.add_timing(STEP_SET_INCLUSION, time.perf_counter() - start,
+            result, timings = run_mode_property_two(
+                self.model, self.options, mode_name, invariant)
+            iterations = result.advection.iterations_used \
+                if result.advection is not None else 0
+            report.add_timing(STEP_ADVECTION, timings["advection"],
+                              detail=f"{mode_name}: {iterations} iterations")
+            report.add_timing(STEP_SET_INCLUSION, timings["inclusion"],
                               detail=mode_name)
-
-            if advection.converged or final_abs is not None:
-                per_mode[mode_name] = ModePropertyTwoResult(
-                    mode_name=mode_name, advection=advection, escape=None,
-                    status=VerificationStatus.VERIFIED,
-                    message=f"advected set absorbed by level set of "
-                            f"{advection.absorbing_mode or final_abs}",
-                )
-                continue
-
-            # Advection inconclusive: Algorithm 1 lines 13-21 (escape certificate).
-            if not self.options.attempt_escape_on_inconclusive:
-                per_mode[mode_name] = ModePropertyTwoResult(
-                    mode_name=mode_name, advection=advection, escape=None,
-                    status=VerificationStatus.INCONCLUSIVE,
-                    message="advection did not immerse and escape search disabled",
-                )
-                status = status.combine(VerificationStatus.INCONCLUSIVE)
-                continue
-
-            own_level = invariant.level_set(mode_name) if mode_name in invariant.level_sets \
-                else next(iter(invariant.level_sets.values()))
-            escape_region = escape_region_from_advection(
-                advection.final_polynomial, own_level.sublevel_polynomial,
-                region_box=self.model.region_box_set(),
-            )
-            synthesizer = EscapeCertificateSynthesizer(self.options.escape)
-            start = time.perf_counter()
-            try:
-                escape = synthesizer.synthesize(
-                    mode_name, field_polys, escape_region,
-                    bounds=self.model.state_bounds(),
-                )
-                report.add_timing(STEP_ESCAPE, time.perf_counter() - start, detail=mode_name)
-                mode_status = VerificationStatus.VERIFIED if escape.validation_passed \
-                    else VerificationStatus.FAILED
-                per_mode[mode_name] = ModePropertyTwoResult(
-                    mode_name=mode_name, advection=advection, escape=escape,
-                    status=mode_status,
-                    message="escape certificate covers the inconclusive sub-region",
-                )
-                status = status.combine(mode_status)
-            except CertificateError as exc:
-                report.add_timing(STEP_ESCAPE, time.perf_counter() - start, detail=mode_name)
-                per_mode[mode_name] = ModePropertyTwoResult(
-                    mode_name=mode_name, advection=advection, escape=None,
-                    status=VerificationStatus.INCONCLUSIVE, message=str(exc),
-                )
-                status = status.combine(VerificationStatus.INCONCLUSIVE)
+            if "escape" in timings:
+                report.add_timing(STEP_ESCAPE, timings["escape"],
+                                  detail=mode_name)
+            per_mode[mode_name] = result
+            status = status.combine(result.status)
 
         message = "bounded reachability of X1 established" \
             if status is VerificationStatus.VERIFIED else \

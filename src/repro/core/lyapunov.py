@@ -68,6 +68,13 @@ class LyapunovSynthesisOptions:
     compactness: str = "ball"
     validate_samples: int = 1500
     validation_tolerance: float = 1e-4
+    # Extra equality constraints intersected into a mode's domains, keyed by
+    # mode name.  The canonical use is pinning a sliding-mode/idle mode to its
+    # switching surface (e.g. the CP PLL's mode1 flows only on ``e = 0`` in
+    # the relay abstraction): without it the decrease condition is quantified
+    # over the full over-approximated flow strip, which is infeasible for
+    # dynamics that do not control the switching coordinate.
+    mode_equalities: Optional[Mapping[str, Sequence[Polynomial]]] = None
 
 
 @dataclass
@@ -118,13 +125,34 @@ class MultipleLyapunovSynthesizer:
     # ------------------------------------------------------------------
     # Domains
     # ------------------------------------------------------------------
+    def _extra_equalities(self, mode_name: str) -> Tuple[Polynomial, ...]:
+        if not self.options.mode_equalities:
+            return ()
+        return tuple(self.options.mode_equalities.get(mode_name, ()))
+
+    def _with_mode_equalities(self, mode_name: str,
+                              domain: SemialgebraicSet) -> SemialgebraicSet:
+        extra = self._extra_equalities(mode_name)
+        if not extra:
+            return domain
+        return SemialgebraicSet(
+            domain.variables,
+            inequalities=domain.inequalities,
+            equalities=domain.equalities + extra,
+            name=f"{domain.name}_pinned",
+        )
+
     def _mode_domain(self, mode: Mode) -> SemialgebraicSet:
         """Full mode domain (flow set intersected with the state box) — used for
         level-set maximisation and sampling validation."""
         domain = mode.flow_set
         if self.options.domain_boxes is not None:
             domain = domain.with_box(self.options.domain_boxes)
-        return domain
+        return self._with_mode_equalities(mode.name, domain)
+
+    def mode_domain(self, mode_name: str) -> SemialgebraicSet:
+        """Public access to a mode's full domain (used by the job engine)."""
+        return self._mode_domain(self.system.mode(mode_name))
 
     def _positivity_domain(self, mode: Mode) -> Optional[SemialgebraicSet]:
         """Domain for condition (a); ``None`` means global positivity."""
@@ -185,7 +213,7 @@ class MultipleLyapunovSynthesizer:
                 equalities=domain.equalities,
                 name=f"{domain.name}_offlock",
             )
-        return domain
+        return self._with_mode_equalities(mode.name, domain)
 
     def _jump_domain(self, guard: SemialgebraicSet) -> SemialgebraicSet:
         domain = guard

@@ -13,6 +13,9 @@ STEP_MAX_LEVEL_CURVES = "Max. Level Curves"
 STEP_ADVECTION = "Advection"
 STEP_SET_INCLUSION = "Checking Set Inclusion"
 STEP_ESCAPE = "Escape Certificate"
+#: Simulation-based cross-check added by the verification engine (not a
+#: Table 2 row of the paper; rendered after the canonical steps).
+STEP_FALSIFICATION_CHECK = "Falsification Check"
 
 TABLE2_STEP_ORDER = (
     STEP_ATTRACTIVE_INVARIANT,
@@ -63,9 +66,18 @@ class VerificationReport:
         return sum(t.seconds for t in self.timings if t.step == step)
 
     def table2_rows(self) -> List[Tuple[str, float, str]]:
-        """Rows of the paper's Table 2 for this system: (step, seconds, detail)."""
+        """Rows of the paper's Table 2 for this system: (step, seconds, detail).
+
+        Canonical steps come first in the paper's order; any other recorded
+        step (e.g. the engine's falsification cross-check) follows in
+        alphabetical order, so the row ordering is fully deterministic and no
+        timing is silently dropped.  Skipped steps (no timing entries)
+        produce no row.
+        """
         rows: List[Tuple[str, float, str]] = []
-        for step in TABLE2_STEP_ORDER:
+        extra_steps = sorted({t.step for t in self.timings
+                              if t.step not in TABLE2_STEP_ORDER})
+        for step in tuple(TABLE2_STEP_ORDER) + tuple(extra_steps):
             entries = [t for t in self.timings if t.step == step]
             if not entries:
                 continue
@@ -93,12 +105,57 @@ class VerificationReport:
             lines.append(", ".join(parts))
         lines.append(f"Inevitability (P = P1 and P2):        {self.inevitability_status.value}")
         lines.append("")
-        lines.append("Timing breakdown (Table 2 analogue):")
-        for step, seconds, detail in self.table2_rows():
-            suffix = f"  [{detail}]" if detail else ""
-            lines.append(f"    {step:24s} {seconds:10.3f} s{suffix}")
-        lines.append(f"    {'Total':24s} {self.total_time:10.3f} s")
+        rows = self.table2_rows()
+        if rows:
+            lines.append("Timing breakdown (Table 2 analogue):")
+            for step, seconds, detail in rows:
+                suffix = f"  [{detail}]" if detail else ""
+                lines.append(f"    {step:24s} {seconds:10.3f} s{suffix}")
+            lines.append(f"    {'Total':24s} {self.total_time:10.3f} s")
+        else:
+            lines.append("Timing breakdown (Table 2 analogue): no steps executed")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """Plain-data form of the report (CLI ``--json`` / engine artifacts)."""
+        per_mode = {}
+        for mode_name, result in sorted(self.property_two.per_mode.items()):
+            entry: Dict[str, object] = {"status": result.status.value,
+                                        "message": result.message}
+            if result.advection is not None:
+                entry["advection_iterations"] = result.advection.iterations_used
+                entry["advection_converged"] = result.advection.converged
+            if result.escape is not None:
+                entry["escape"] = True
+            per_mode[mode_name] = entry
+        invariant_rows = []
+        if self.property_one.invariant is not None:
+            invariant_rows = [
+                {"mode": mode_name, "level": level, "degree": degree}
+                for mode_name, level, degree
+                in self.property_one.invariant.summary_rows()
+            ]
+        return {
+            "system": self.system_name,
+            "property_one": {
+                "status": self.property_one.status.value,
+                "message": self.property_one.message,
+                "invariant": invariant_rows,
+            },
+            "property_two": {
+                "status": self.property_two.status.value,
+                "message": self.property_two.message,
+                "per_mode": per_mode,
+            },
+            "inevitability": self.inevitability_status.value,
+            "timings": [
+                {"step": step, "seconds": seconds, "detail": detail}
+                for step, seconds, detail in self.table2_rows()
+            ],
+            "total_seconds": self.total_time,
+            "options": dict(self.options_summary),
+        }
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.render_text()

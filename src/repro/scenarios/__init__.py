@@ -1,0 +1,44 @@
+"""Declarative scenario registry for the verification engine and CLI.
+
+Importing this package registers the built-in workloads (the paper's PLLs,
+parameter-corner and degraded variants, a buck converter and two continuous
+polynomial systems).  Register additional scenarios with
+:func:`register_scenario`; they become visible to ``python -m repro list``
+and runnable by the engine immediately.
+"""
+
+from .problem import ScenarioProblem
+from .registry import (
+    EXPECTED_OUTCOMES,
+    ScenarioSpec,
+    all_scenarios,
+    build_problem,
+    fast_scenario_names,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from .systems import (
+    build_buck_converter_system,
+    build_duffing_system,
+    build_vanderpol_system,
+)
+
+# Importing the scenario modules populates the registry.
+from . import pll_scenarios  # noqa: F401  (registration side effects)
+from . import workloads  # noqa: F401  (registration side effects)
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioProblem",
+    "EXPECTED_OUTCOMES",
+    "register_scenario",
+    "get_scenario",
+    "all_scenarios",
+    "scenario_names",
+    "fast_scenario_names",
+    "build_problem",
+    "build_buck_converter_system",
+    "build_vanderpol_system",
+    "build_duffing_system",
+]

@@ -1,0 +1,150 @@
+"""Declarative scenario registry.
+
+A *scenario* is a named, fully specified verification workload: a hybrid (or
+continuous) system, certificate degrees, solver options and the outcome the
+maintainers expect the pipeline to reach.  Scenarios are registered with the
+:func:`register_scenario` decorator at import time and consumed by the
+verification engine and the ``python -m repro`` CLI::
+
+    @register_scenario(
+        name="my_system",
+        description="…",
+        certificate_degree=2,
+        expected="verified",
+    )
+    def _build(spec: ScenarioSpec) -> ScenarioProblem:
+        return ScenarioProblem(...)
+
+The builder receives its own spec so declarative knobs (degrees, solver
+settings) stay in one place and the engine can rebuild problems from the name
+alone inside worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from .problem import ScenarioProblem
+
+#: Allowed values of :attr:`ScenarioSpec.expected`.
+EXPECTED_OUTCOMES = ("verified", "property_one", "inconclusive", "any")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one verification workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key; also the CLI argument of ``python -m repro verify``.
+    description:
+        One-line human summary shown by ``python -m repro list``.
+    builder:
+        Callable producing the :class:`~repro.scenarios.problem.ScenarioProblem`;
+        invoked lazily (building compiles polynomials, so listing stays cheap).
+    certificate_degree / multiplier_degree:
+        Headline SOS degrees; the builder threads them into the stage options.
+    solver_settings:
+        Baseline conic-solver settings shared by every stage of the scenario.
+    expected:
+        Outcome the registry promises: ``"verified"`` (both properties),
+        ``"property_one"`` (attractive invariant only), ``"inconclusive"``
+        (known-hard workload) or ``"any"`` (exploratory).
+    tags:
+        Free-form labels (``"pll"``, ``"power"``, ``"continuous"``, …).
+    fast:
+        Marks scenarios cheap enough for CI smoke runs and warm-cache tests.
+    """
+
+    name: str
+    description: str
+    builder: Callable[["ScenarioSpec"], ScenarioProblem]
+    certificate_degree: int = 2
+    multiplier_degree: int = 2
+    solver_settings: Mapping[str, object] = field(default_factory=dict)
+    expected: str = "verified"
+    tags: Tuple[str, ...] = ()
+    fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.expected not in EXPECTED_OUTCOMES:
+            raise ValueError(
+                f"scenario {self.name!r}: expected outcome {self.expected!r} "
+                f"not in {EXPECTED_OUTCOMES}")
+
+    def build(self) -> ScenarioProblem:
+        """Construct the scenario's verification problem."""
+        problem = self.builder(self)
+        problem.name = self.name
+        problem.expected = self.expected
+        return problem
+
+    def summary_row(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "degree": self.certificate_degree,
+            "expected": self.expected,
+            "tags": list(self.tags),
+            "fast": self.fast,
+        }
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(name: str, description: str, *,
+                      certificate_degree: int = 2,
+                      multiplier_degree: int = 2,
+                      solver_settings: Optional[Mapping[str, object]] = None,
+                      expected: str = "verified",
+                      tags: Tuple[str, ...] = (),
+                      fast: bool = False,
+                      overwrite: bool = False):
+    """Decorator registering a scenario builder under ``name``."""
+
+    def decorator(builder: Callable[[ScenarioSpec], ScenarioProblem]):
+        if name in _REGISTRY and not overwrite:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = ScenarioSpec(
+            name=name,
+            description=description,
+            builder=builder,
+            certificate_degree=certificate_degree,
+            multiplier_degree=multiplier_degree,
+            solver_settings=dict(solver_settings or {}),
+            expected=expected,
+            tags=tuple(tags),
+            fast=fast,
+        )
+        return builder
+
+    return decorator
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {scenario_names()}") from None
+
+
+def all_scenarios() -> Tuple[ScenarioSpec, ...]:
+    """Every registered scenario, sorted by name (deterministic listings)."""
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def fast_scenario_names() -> Tuple[str, ...]:
+    return tuple(spec.name for spec in all_scenarios() if spec.fast)
+
+
+def build_problem(name: str) -> ScenarioProblem:
+    """Build the named scenario's problem (the engine worker entry point)."""
+    return get_scenario(name).build()

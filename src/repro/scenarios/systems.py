@@ -1,0 +1,133 @@
+"""Hybrid and continuous systems for the non-PLL scenarios.
+
+Three genuinely new workloads exercising the existing ``hybrid``/``core``
+layers:
+
+* a two-mode sliding-control DC-DC **buck converter** in deviation
+  coordinates — structurally a sibling of the CP PLL (two affine modes with
+  opposite constant forcing, switching on the sign of one state);
+* the time-reversed **Van der Pol** oscillator — a polynomial continuous
+  system whose origin is locally attractive inside the unstable limit cycle;
+* a damped **Duffing** oscillator — globally attractive origin with a natural
+  quartic (degree-4) Lyapunov certificate.
+
+Continuous systems are wrapped in a single-mode hybrid shell so the multiple-
+Lyapunov synthesiser, level-set maximiser and advection engine run unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..hybrid import HybridSystem, Mode, Transition
+from ..polynomial import Polynomial, VariableVector, make_variables
+from ..sos import SemialgebraicSet
+
+
+def build_buck_converter_system(
+    v_in: float = 1.0,
+    load: float = 1.0,
+    duty: float = 0.5,
+    name: str = "buck_converter",
+) -> HybridSystem:
+    """Two-mode buck converter in normalised deviation coordinates.
+
+    States are ``(i, v)``: inductor-current and capacitor-voltage deviations
+    from the averaged operating point ``(i*, v*) = (d·V_in/R, d·V_in)`` with
+    ``L = C = 1`` after time normalisation.  The sliding voltage-mode control
+    closes the switch while the output voltage is below the reference
+    (``v <= 0``) and opens it above, giving
+
+    * ``mode2`` (switch closed, ``v <= 0``):  ``i' = (1-d)·V_in − v``,
+      ``v' = i − v/R``
+    * ``mode3`` (switch open,  ``v >= 0``):  ``i' = −d·V_in − v``,
+      ``v' = i − v/R``
+
+    — two affine modes whose difference is a constant forcing term, exactly
+    the structure the PLL machinery (lock-tube relaxed decrease, identity
+    jumps on a sign guard) was built for.
+    """
+    state_vars = VariableVector(make_variables("i", "v"))
+    i = Polynomial.from_variable(state_vars[0], state_vars)
+    v = Polynomial.from_variable(state_vars[1], state_vars)
+
+    on_force = (1.0 - duty) * v_in      # closed-switch forcing above average
+    off_force = -duty * v_in            # open-switch forcing below average
+    di_on = -v + on_force
+    di_off = -v + off_force
+    dv = i - v * (1.0 / load)
+
+    on_set = SemialgebraicSet(state_vars, inequalities=(-v,), name="mode2_flowset")
+    off_set = SemialgebraicSet(state_vars, inequalities=(v,), name="mode3_flowset")
+
+    modes = (
+        Mode(name="mode2", index=1, state_variables=state_vars,
+             flow_map=(di_on, dv), flow_set=on_set, contains_equilibrium=True),
+        Mode(name="mode3", index=2, state_variables=state_vars,
+             flow_map=(di_off, dv), flow_set=off_set, contains_equilibrium=True),
+    )
+    transitions = (
+        Transition(source="mode2", target="mode3", state_variables=state_vars,
+                   guard_set=off_set, trigger=v),
+        Transition(source="mode3", target="mode2", state_variables=state_vars,
+                   guard_set=on_set, trigger=-v),
+    )
+    return HybridSystem(
+        name=name,
+        state_variables=state_vars,
+        modes=modes,
+        transitions=transitions,
+        equilibrium=np.zeros(2),
+    )
+
+
+def _single_mode_system(name: str, state_names: Tuple[str, ...],
+                        flow_map: Tuple[Polynomial, ...],
+                        state_vars: VariableVector) -> HybridSystem:
+    """Wrap a continuous polynomial vector field as a one-mode hybrid system."""
+    flow_set = SemialgebraicSet(state_vars, name=f"{name}_flowset")
+    mode = Mode(name="flow", index=1, state_variables=state_vars,
+                flow_map=flow_map, flow_set=flow_set, contains_equilibrium=True)
+    return HybridSystem(
+        name=name,
+        state_variables=state_vars,
+        modes=(mode,),
+        equilibrium=np.zeros(len(state_names)),
+    )
+
+
+def build_vanderpol_system(mu: float = 1.0,
+                           name: str = "vanderpol_reversed") -> HybridSystem:
+    """Time-reversed Van der Pol oscillator.
+
+    ``x' = −y,  y' = x − μ(1 − x²)y``.  Reversing time turns the classical
+    limit cycle inside out: the origin is asymptotically stable and the cycle
+    bounds its basin, so sub-level sets of a synthesised Lyapunov function
+    inside the unit box are genuine attractive invariants.
+    """
+    state_vars = VariableVector(make_variables("x", "y"))
+    x = Polynomial.from_variable(state_vars[0], state_vars)
+    y = Polynomial.from_variable(state_vars[1], state_vars)
+    dx = -y
+    dy = x - (y - x * x * y) * mu
+    return _single_mode_system(name, ("x", "y"), (dx, dy), state_vars)
+
+
+def build_duffing_system(delta: float = 0.8, alpha: float = 1.0,
+                         beta: float = 1.0,
+                         name: str = "duffing_damped") -> HybridSystem:
+    """Damped, unforced Duffing oscillator ``x' = y, y' = −δy − αx − βx³``.
+
+    With ``α, β, δ > 0`` the origin is globally asymptotically stable; the
+    mechanical energy ``αx²/2 + βx⁴/4 + y²/2`` is a quartic Lyapunov
+    function, making this the registry's canonical degree-4 certificate
+    workload.
+    """
+    state_vars = VariableVector(make_variables("x", "y"))
+    x = Polynomial.from_variable(state_vars[0], state_vars)
+    y = Polynomial.from_variable(state_vars[1], state_vars)
+    dx = y
+    dy = y * (-delta) + x * (-alpha) + (x ** 3) * (-beta)
+    return _single_mode_system(name, ("x", "y"), (dx, dy), state_vars)

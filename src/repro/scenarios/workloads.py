@@ -1,0 +1,127 @@
+"""Registered non-PLL scenarios: power electronics and continuous systems.
+
+These workloads route genuinely different dynamics through the same
+Lyapunov → level-set → advection pipeline: a two-mode buck converter (hybrid,
+affine modes with constant forcing), and two polynomial continuous systems
+(time-reversed Van der Pol, damped Duffing) wrapped as single-mode hybrid
+systems.
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    AdvectionOptions,
+    EscapeOptions,
+    InevitabilityOptions,
+    LevelSetOptions,
+    LyapunovSynthesisOptions,
+)
+from .problem import ScenarioProblem
+from .registry import ScenarioSpec, register_scenario
+from .systems import (
+    build_buck_converter_system,
+    build_duffing_system,
+    build_vanderpol_system,
+)
+
+
+def _generic_options(spec: ScenarioSpec, *,
+                     lock_tube_radius: float,
+                     voltage_indices=None,
+                     initial_upper_bound: float = 1.0,
+                     advection_iterations: int = 4,
+                     advection_operator: str = "composition",
+                     verify_property_two: bool = True,
+                     validate_samples: int = 400,
+                     levelset_domain: str = "mode") -> InevitabilityOptions:
+    solver = dict(spec.solver_settings) or dict(max_iterations=4000,
+                                                eps_rel=1e-4, eps_abs=1e-5)
+    return InevitabilityOptions(
+        lyapunov=LyapunovSynthesisOptions(
+            certificate_degree=spec.certificate_degree,
+            multiplier_degree=spec.multiplier_degree,
+            positivity_margin=0.02,
+            lock_tube_radius=lock_tube_radius,
+            voltage_indices=voltage_indices,
+            validate_samples=validate_samples,
+            validation_tolerance=5e-2,
+            solver_settings=dict(solver),
+        ),
+        levelset=LevelSetOptions(
+            multiplier_degree=spec.multiplier_degree,
+            bisection_tolerance=0.05,
+            max_bisection_iterations=8,
+            initial_upper_bound=initial_upper_bound,
+            solver_settings=dict(max_iterations=8000, eps_rel=1e-4, eps_abs=1e-5),
+        ),
+        advection=AdvectionOptions(
+            time_step=0.1,
+            max_iterations=advection_iterations,
+            operator=advection_operator,
+            inclusion_check_every=2,
+            solver_settings=dict(max_iterations=3000),
+        ),
+        escape=EscapeOptions(certificate_degree=2, validate_samples=300,
+                             solver_settings=dict(max_iterations=3000)),
+        attempt_escape_on_inconclusive=False,
+        verify_property_two=verify_property_two,
+        levelset_domain=levelset_domain,
+    )
+
+
+@register_scenario(
+    name="buck",
+    description="Two-mode DC-DC buck converter under sliding voltage-mode control",
+    certificate_degree=2,
+    expected="property_one",
+    tags=("power", "hybrid"),
+    fast=True,
+)
+def _build_buck(spec: ScenarioSpec) -> ScenarioProblem:
+    system = build_buck_converter_system()
+    bounds = [(-2.0, 2.0), (-2.0, 2.0)]
+    # Both modes carry a constant forcing (the switch ripple), so — exactly as
+    # for the CP PLL — the decrease condition is imposed off a tube around the
+    # averaged operating point, here a disc over both states.
+    options = _generic_options(
+        spec, lock_tube_radius=0.5, voltage_indices=(0, 1),
+        initial_upper_bound=2.0, verify_property_two=True,
+        levelset_domain="box",
+    )
+    return ScenarioProblem(system=system, bounds=bounds, options=options)
+
+
+@register_scenario(
+    name="vanderpol",
+    description="Time-reversed Van der Pol oscillator (basin certificate inside "
+                "the unstable limit cycle)",
+    certificate_degree=2,
+    expected="property_one",
+    tags=("continuous", "polynomial"),
+    fast=True,
+)
+def _build_vanderpol(spec: ScenarioSpec) -> ScenarioProblem:
+    system = build_vanderpol_system(mu=1.0)
+    bounds = [(-0.8, 0.8), (-0.8, 0.8)]
+    options = _generic_options(
+        spec, lock_tube_radius=0.0, initial_upper_bound=0.5,
+        verify_property_two=False,
+    )
+    return ScenarioProblem(system=system, bounds=bounds, options=options)
+
+
+@register_scenario(
+    name="duffing",
+    description="Damped Duffing oscillator with a degree-4 (energy-shaped) certificate",
+    certificate_degree=4,
+    expected="property_one",
+    tags=("continuous", "polynomial", "degree4"),
+)
+def _build_duffing(spec: ScenarioSpec) -> ScenarioProblem:
+    system = build_duffing_system(delta=0.8)
+    bounds = [(-1.2, 1.2), (-1.2, 1.2)]
+    options = _generic_options(
+        spec, lock_tube_radius=0.0, initial_upper_bound=1.0,
+        verify_property_two=False, validate_samples=300,
+    )
+    return ScenarioProblem(system=system, bounds=bounds, options=options)

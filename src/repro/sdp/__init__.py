@@ -24,10 +24,16 @@ from .projection import AlternatingProjectionSolver, ProjectionSettings
 from .solver import (
     DEFAULT_BACKEND,
     available_backends,
+    canonical_solver_options,
+    get_solve_cache,
     make_solver,
     register_backend,
+    reset_solve_counters,
+    set_solve_cache,
+    solve_cache_key,
     solve_conic_problem,
     solve_conic_problems,
+    solve_counters,
 )
 
 __all__ = [
@@ -63,5 +69,11 @@ __all__ = [
     "make_solver",
     "solve_conic_problem",
     "solve_conic_problems",
+    "solve_counters",
+    "reset_solve_counters",
+    "set_solve_cache",
+    "get_solve_cache",
+    "solve_cache_key",
+    "canonical_solver_options",
     "DEFAULT_BACKEND",
 ]

@@ -15,6 +15,7 @@ column indices in a single vectorised pass.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -69,6 +70,30 @@ class ConicProblem:
 
     def cone_violation(self, x: np.ndarray) -> float:
         return cone_violation(x, self.dims)
+
+    def fingerprint(self) -> str:
+        """Content hash of the problem data, stable across processes and runs.
+
+        Hashes the canonical CSR representation of ``A`` (sorted indices,
+        explicit zeros pruned), ``b``, ``c`` and the cone layout with sha256,
+        so the digest depends only on the mathematical problem — not on
+        assembly order, Python hash seeds or object identities.  Used as the
+        content-addressed key of the persistent certificate cache.
+        """
+        A = self.A.copy()
+        A.eliminate_zeros()
+        A.sort_indices()
+        digest = hashlib.sha256()
+        digest.update(np.int64(A.shape[0]).tobytes())
+        digest.update(np.int64(A.shape[1]).tobytes())
+        digest.update(A.indptr.astype(np.int64).tobytes())
+        digest.update(A.indices.astype(np.int64).tobytes())
+        digest.update(np.ascontiguousarray(A.data, dtype=np.float64).tobytes())
+        digest.update(np.ascontiguousarray(self.b, dtype=np.float64).tobytes())
+        digest.update(np.ascontiguousarray(self.c, dtype=np.float64).tobytes())
+        digest.update(repr((self.dims.free, self.dims.nonneg,
+                            tuple(self.dims.psd))).encode("utf-8"))
+        return digest.hexdigest()
 
     def describe(self) -> str:
         return (f"ConicProblem({self.num_constraints} equalities, "

@@ -7,6 +7,7 @@ numerical engine without touching the verification code.
 
 from __future__ import annotations
 
+import hashlib
 import inspect
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -17,6 +18,90 @@ from .projection import AlternatingProjectionSolver, ProjectionSettings
 from .result import SolverResult
 
 SolverFactory = Callable[[], object]
+
+# Process-wide solve accounting, mirroring ``repro.sos.compile_counters``:
+# ``solved`` counts actual conic solves performed by a backend, ``cache_hit``
+# counts solves served from the installed solve cache.  The verification
+# engine asserts against these that a warm-cache re-verification performs
+# zero SDP solves.
+_SOLVE_COUNTERS = {"solved": 0, "cache_hit": 0}
+
+
+def solve_counters() -> Dict[str, int]:
+    """Snapshot of the process-wide conic solve counters."""
+    return dict(_SOLVE_COUNTERS)
+
+
+def reset_solve_counters() -> None:
+    for key in _SOLVE_COUNTERS:
+        _SOLVE_COUNTERS[key] = 0
+
+
+# Optional pluggable result cache.  Any object with ``get(key) ->
+# Optional[SolverResult]`` and ``put(key, result)`` works; the engine installs
+# a content-addressed on-disk :class:`repro.engine.cache.CertificateCache`.
+#
+# Policy: EVERY terminal result is cached, including failure statuses
+# (MAX_ITERATIONS, INFEASIBLE_SUSPECTED) — in this pipeline a rejected
+# feasibility probe is a meaningful outcome (e.g. a rejected level in the
+# level-ladder), and replaying it keeps a warm-cache run a bit-identical,
+# zero-solve replay of the cold run.  The key intentionally excludes warm
+# starts (they affect the path, not the validity, of a result); callers who
+# want a fresh attempt at a previously failed solve bypass the cache.
+_SOLVE_CACHE: Optional[object] = None
+
+
+def set_solve_cache(cache: Optional[object]) -> Optional[object]:
+    """Install (or clear, with ``None``) the process-wide solve cache.
+
+    Returns the previously installed cache so callers can restore it.
+    """
+    global _SOLVE_CACHE
+    previous = _SOLVE_CACHE
+    _SOLVE_CACHE = cache
+    return previous
+
+
+def get_solve_cache() -> Optional[object]:
+    return _SOLVE_CACHE
+
+
+def canonical_solver_options(backend: Union[str, object, None],
+                             settings: Dict[str, object]) -> str:
+    """Deterministic text form of (backend, settings) for cache keys.
+
+    Backend objects (rather than names) are identified by their class name and
+    settings dataclass repr; keyword settings are sorted by key.  Two solves
+    configured identically therefore serialise identically across processes.
+    A backend object that exposes no ``settings`` attribute falls back to its
+    full ``repr`` — for default reprs this includes the object id, which
+    biases the cache towards misses rather than ever serving a result solved
+    under unknown, possibly different, configuration.
+    """
+    if backend is None:
+        backend_token = DEFAULT_BACKEND
+    elif isinstance(backend, str):
+        backend_token = backend
+    else:
+        inner = getattr(backend, "settings", None)
+        if inner is not None:
+            backend_token = f"{type(backend).__name__}({inner!r})"
+        else:
+            backend_token = repr(backend)
+    items = ", ".join(f"{key}={settings[key]!r}" for key in sorted(settings))
+    return f"{backend_token}|{items}"
+
+
+def solve_cache_key(problem: ConicProblem,
+                    backend: Union[str, object, None],
+                    settings: Dict[str, object]) -> str:
+    """Content-addressed cache key: problem data hash + solver options."""
+    options = canonical_solver_options(backend, settings)
+    digest = hashlib.sha256()
+    digest.update(problem.fingerprint().encode("ascii"))
+    digest.update(b"|")
+    digest.update(options.encode("utf-8"))
+    return digest.hexdigest()
 
 _BACKENDS: Dict[str, SolverFactory] = {
     "admm": ADMMConicSolver,
@@ -73,10 +158,19 @@ def solve_conic_problem(problem: ConicProblem,
     Pass the ``warm_start_data`` dict from a previous result on a structurally
     identical problem to accelerate sequential solves.
     """
-    solver = make_solver(backend, **settings)
-    if warm_start is not None and _accepts_warm_start(solver):
-        return solver.solve(problem, warm_start=warm_start)
-    return solver.solve(problem)
+    cache = _SOLVE_CACHE
+    key: Optional[str] = None
+    if cache is not None:
+        key = solve_cache_key(problem, backend, settings)
+        cached = cache.get(key)
+        if cached is not None:
+            _SOLVE_COUNTERS["cache_hit"] += 1
+            return cached
+    result = _solve_single_uncached(problem, backend, warm_start, settings)
+    _SOLVE_COUNTERS["solved"] += 1
+    if cache is not None and key is not None:
+        cache.put(key, result)
+    return result
 
 
 def solve_conic_problems(problems: Sequence[ConicProblem],
@@ -97,6 +191,37 @@ def solve_conic_problems(problems: Sequence[ConicProblem],
     warm_starts = list(warm_starts)
     if len(warm_starts) != len(problems):
         raise ValueError("warm_starts must align with problems")
+
+    cache = _SOLVE_CACHE
+    results: List[Optional[SolverResult]] = [None] * len(problems)
+    keys: List[Optional[str]] = [None] * len(problems)
+    pending = list(range(len(problems)))
+    if cache is not None:
+        pending = []
+        for i, problem in enumerate(problems):
+            keys[i] = solve_cache_key(problem, backend, settings)
+            cached = cache.get(keys[i])
+            if cached is not None:
+                _SOLVE_COUNTERS["cache_hit"] += 1
+                results[i] = cached
+            else:
+                pending.append(i)
+    if pending:
+        sub_problems = [problems[i] for i in pending]
+        sub_starts = [warm_starts[i] for i in pending]
+        solved = _solve_batch_uncached(sub_problems, backend, sub_starts, settings)
+        _SOLVE_COUNTERS["solved"] += len(solved)
+        for i, result in zip(pending, solved):
+            results[i] = result
+            if cache is not None and keys[i] is not None:
+                cache.put(keys[i], result)
+    return results  # type: ignore[return-value]
+
+
+def _solve_batch_uncached(problems: List[ConicProblem],
+                          backend: Union[str, object, None],
+                          warm_starts: List[Optional[WarmStart]],
+                          settings: Dict[str, object]) -> List[SolverResult]:
     if backend is None or backend in ("admm", "batch_admm"):
         solver = BatchADMMSolver(ADMMSettings(**settings)) if settings else BatchADMMSolver()
         return solver.solve_batch(problems, warm_starts)
@@ -104,8 +229,18 @@ def solve_conic_problems(problems: Sequence[ConicProblem],
         return backend.solve_batch(problems, warm_starts)
     if isinstance(backend, ADMMConicSolver):
         return BatchADMMSolver(backend.settings).solve_batch(problems, warm_starts)
-    return [solve_conic_problem(problem, backend=backend, warm_start=ws, **settings)
+    return [_solve_single_uncached(problem, backend, ws, settings)
             for problem, ws in zip(problems, warm_starts)]
+
+
+def _solve_single_uncached(problem: ConicProblem,
+                           backend: Union[str, object, None],
+                           warm_start: Optional[WarmStart],
+                           settings: Dict[str, object]) -> SolverResult:
+    solver = make_solver(backend, **settings)
+    if warm_start is not None and _accepts_warm_start(solver):
+        return solver.solve(problem, warm_start=warm_start)
+    return solver.solve(problem)
 
 
 def _accepts_warm_start(solver: object) -> bool:

@@ -1,0 +1,207 @@
+"""Certificate-cache tests: hit/miss/corruption recovery, key stability
+across processes, and cache bypass."""
+
+import pickle
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.engine import CertificateCache
+from repro.engine.cache import default_cache_dir
+from repro.polynomial import Polynomial, VariableVector, make_variables
+from repro.sdp import (
+    SolverResult,
+    SolverStatus,
+    canonical_solver_options,
+    reset_solve_counters,
+    set_solve_cache,
+    solve_cache_key,
+    solve_counters,
+)
+from repro.sos import SOSProgram
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return CertificateCache(tmp_path / "cache")
+
+
+@pytest.fixture()
+def tiny_program():
+    variables = VariableVector(make_variables("x", "y"))
+    x = Polynomial.from_variable(variables[0], variables)
+    y = Polynomial.from_variable(variables[1], variables)
+    program = SOSProgram("cache_test")
+    program.add_sos_constraint(x * x + 2.0 * y * y + 1.0, name="c")
+    return program
+
+
+def _result(objective=1.25):
+    return SolverResult(status=SolverStatus.OPTIMAL,
+                        x=np.array([1.0, 2.0, 3.0]),
+                        objective=objective, iterations=7)
+
+
+def _rebuild(program):
+    builder, _, _ = program.compile()
+    return builder.build()
+
+
+class TestCacheStore:
+    def test_put_get_roundtrip(self, cache):
+        key = "ab" * 32
+        cache.put(key, _result())
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.status is SolverStatus.OPTIMAL
+        assert np.allclose(loaded.x, [1.0, 2.0, 3.0])
+        assert cache.stats.writes == 1 and cache.stats.hits == 1
+
+    def test_miss(self, cache):
+        assert cache.get("cd" * 32) is None
+        assert cache.stats.misses == 1
+
+    def test_len_and_clear(self, cache):
+        for i in range(3):
+            cache.put(f"{i:02x}" * 32, _result())
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_corrupted_entry_recovered(self, cache):
+        key = "ef" * 32
+        cache.put(key, _result())
+        path = cache.path_for(key)
+        path.write_bytes(b"not a pickle")
+        fresh = CertificateCache(cache.root)  # bypass the in-memory front
+        assert fresh.get(key) is None
+        assert fresh.stats.corrupted == 1
+        assert not path.exists()          # the bad entry was dropped
+        # A subsequent put repopulates it.
+        fresh.put(key, _result())
+        assert fresh.get(key) is not None
+
+    def test_wrong_type_entry_treated_as_corrupt(self, cache):
+        key = "0a" * 32
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"not": "a result"}))
+        assert cache.get(key) is None
+        assert cache.stats.corrupted == 1
+
+    def test_invalid_key_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.path_for("../escape")
+
+    def test_default_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+
+class TestCacheKeys:
+    def test_fingerprint_deterministic_within_process(self, tiny_program):
+        variables = VariableVector(make_variables("x", "y"))
+        x = Polynomial.from_variable(variables[0], variables)
+        y = Polynomial.from_variable(variables[1], variables)
+        other = SOSProgram("cache_test_again")
+        other.add_sos_constraint(x * x + 2.0 * y * y + 1.0, name="c")
+        assert _rebuild(tiny_program).fingerprint() == _rebuild(other).fingerprint()
+
+    def test_fingerprint_sensitive_to_data(self):
+        variables = VariableVector(make_variables("x", "y"))
+        x = Polynomial.from_variable(variables[0], variables)
+        y = Polynomial.from_variable(variables[1], variables)
+        a = SOSProgram("a")
+        a.add_sos_constraint(x * x + 2.0 * y * y + 1.0, name="c")
+        b = SOSProgram("b")
+        b.add_sos_constraint(x * x + 2.5 * y * y + 1.0, name="c")
+        assert _rebuild(a).fingerprint() != _rebuild(b).fingerprint()
+
+    def test_key_includes_solver_options(self, tiny_program):
+        problem = _rebuild(tiny_program)
+        k1 = solve_cache_key(problem, None, {})
+        k2 = solve_cache_key(problem, None, {"max_iterations": 123})
+        k3 = solve_cache_key(problem, "projection", {})
+        assert len({k1, k2, k3}) == 3
+
+    def test_canonical_options_sorted(self):
+        a = canonical_solver_options("admm", {"b": 1, "a": 2})
+        b = canonical_solver_options("admm", {"a": 2, "b": 1})
+        assert a == b
+
+    def test_key_stable_across_processes(self, tiny_program):
+        """The content hash must not depend on Python hash randomisation."""
+        local = _rebuild(tiny_program).fingerprint()
+        script = (
+            "from repro.polynomial import Polynomial, VariableVector, make_variables\n"
+            "from repro.sos import SOSProgram\n"
+            "v = VariableVector(make_variables('x', 'y'))\n"
+            "x = Polynomial.from_variable(v[0], v)\n"
+            "y = Polynomial.from_variable(v[1], v)\n"
+            "p = SOSProgram('cache_test')\n"
+            "p.add_sos_constraint(x * x + 2.0 * y * y + 1.0, name='c')\n"
+            "builder, _, _ = p.compile()\n"
+            "print(builder.build().fingerprint())\n"
+        )
+        for seed in ("0", "1"):
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed,
+                     "PATH": "/usr/bin:/bin"},
+                cwd=str(__import__("pathlib").Path(__file__).resolve().parent.parent),
+            )
+            assert out.stdout.strip() == local
+
+
+class TestSolveCacheIntegration:
+    def test_hit_miss_and_bypass(self, cache, tiny_program):
+        previous = set_solve_cache(cache)
+        try:
+            reset_solve_counters()
+            tiny_program.solve()
+            assert solve_counters() == {"solved": 1, "cache_hit": 0}
+
+            # A structurally identical program is served from the cache.
+            variables = VariableVector(make_variables("x", "y"))
+            x = Polynomial.from_variable(variables[0], variables)
+            y = Polynomial.from_variable(variables[1], variables)
+            clone = SOSProgram("clone")
+            clone.add_sos_constraint(x * x + 2.0 * y * y + 1.0, name="c")
+            solution = clone.solve()
+            assert solution.is_success
+            assert solve_counters() == {"solved": 1, "cache_hit": 1}
+
+            # Bypassing the cache solves again.
+            set_solve_cache(None)
+            clone2 = SOSProgram("clone2")
+            clone2.add_sos_constraint(x * x + 2.0 * y * y + 1.0, name="c")
+            clone2.solve()
+            assert solve_counters()["solved"] == 2
+        finally:
+            set_solve_cache(previous)
+            reset_solve_counters()
+
+    def test_cached_result_reused_across_cache_instances(self, tmp_path,
+                                                         tiny_program):
+        """Key stability on disk: a fresh cache object over the same directory
+        serves the results written by another instance (as worker processes
+        sharing one cache directory do)."""
+        first = CertificateCache(tmp_path / "shared")
+        previous = set_solve_cache(first)
+        try:
+            reset_solve_counters()
+            tiny_program.solve()
+            set_solve_cache(CertificateCache(tmp_path / "shared"))
+            variables = VariableVector(make_variables("x", "y"))
+            x = Polynomial.from_variable(variables[0], variables)
+            y = Polynomial.from_variable(variables[1], variables)
+            clone = SOSProgram("clone")
+            clone.add_sos_constraint(x * x + 2.0 * y * y + 1.0, name="c")
+            clone.solve()
+            assert solve_counters() == {"solved": 1, "cache_hit": 1}
+        finally:
+            set_solve_cache(previous)
+            reset_solve_counters()
