@@ -28,7 +28,7 @@ from conftest import print_rows, record_bench
 
 
 def _rows_for(report):
-    rows = dict((step, seconds) for step, seconds, _ in report.table2_rows())
+    rows = dict((step, seconds) for step, seconds, _, _ in report.table2_rows())
     return [f"{rows[step]:.2f}" if step in rows else "-" for step in TABLE2_STEP_ORDER]
 
 
@@ -37,13 +37,13 @@ def test_bench_table2_third_order(benchmark, third_order_report):
     benchmark.pedantic(lambda: report.table2_rows(), rounds=1, iterations=1)
     record_bench("table2_third_order", {
         "steps": [{"step": step, "seconds": seconds, "detail": detail}
-                  for step, seconds, detail in report.table2_rows()],
+                  for step, seconds, detail, _ in report.table2_rows()],
         "total_seconds": report.total_time,
     })
     print_rows(
         "Table 2 (third order): verification step timings [s]",
         ["Step", "Time (s)", "Detail"],
-        [(step, f"{seconds:.2f}", detail) for step, seconds, detail in report.table2_rows()],
+        [(step, f"{seconds:.2f}", detail) for step, seconds, detail, _ in report.table2_rows()],
     )
     print(f"P1={report.property_one.status.value}  "
           f"P2={report.property_two.status.value}  "
@@ -262,13 +262,13 @@ def test_bench_table2_fourth_order(benchmark, fourth_order_report):
     benchmark.pedantic(lambda: report.table2_rows(), rounds=1, iterations=1)
     record_bench("table2_fourth_order", {
         "steps": [{"step": step, "seconds": seconds, "detail": detail}
-                  for step, seconds, detail in report.table2_rows()],
+                  for step, seconds, detail, _ in report.table2_rows()],
         "total_seconds": report.total_time,
     })
     print_rows(
         "Table 2 (fourth order): verification step timings [s]",
         ["Step", "Time (s)", "Detail"],
-        [(step, f"{seconds:.2f}", detail) for step, seconds, detail in report.table2_rows()],
+        [(step, f"{seconds:.2f}", detail) for step, seconds, detail, _ in report.table2_rows()],
     )
     print(f"P1={report.property_one.status.value}  "
           f"P2={report.property_two.status.value}  "

@@ -68,7 +68,8 @@ def cmd_list(args: argparse.Namespace) -> int:
         tags = ",".join(row["tags"]) or "-"
         fast = " [fast]" if row["fast"] else ""
         print(f"  {row['name']:<{width}} degree={row['degree']} "
-              f"expected={row['expected']:<13} tags={tags}{fast}")
+              f"expected={row['expected']:<13} "
+              f"relaxation={row['relaxation']:<6} tags={tags}{fast}")
         print(f"  {'':<{width}} {row['description']}")
     return 0
 
@@ -84,10 +85,13 @@ def cmd_verify(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         job_timeout=args.timeout,
         seed=args.seed,
+        relaxation=args.relaxation,
     )
     engine = VerificationEngine(options)
+    relax_note = f", relaxation={options.relaxation}" if options.relaxation else ""
     print(f"verifying {', '.join(scenarios)} "
-          f"(jobs={options.jobs}, cache={'on' if options.use_cache else 'off'})")
+          f"(jobs={options.jobs}, cache={'on' if options.use_cache else 'off'}"
+          f"{relax_note})")
     report = engine.run(scenarios)
 
     for outcome in report.outcomes:
@@ -167,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-job timeout in seconds (pool runs)")
     p_verify.add_argument("--seed", type=int, default=0,
                           help="random seed for the falsification cross-check")
+    p_verify.add_argument("--relaxation", default=None,
+                          choices=["dsos", "sdsos", "sos", "auto"],
+                          help="Gram-cone relaxation of every certificate: "
+                               "dsos (LP cones), sdsos (2x2 PSD blocks), sos "
+                               "(full PSD Gram) or auto (try cheap, escalate "
+                               "on failure); default: each scenario's "
+                               "registered relaxation")
     p_verify.add_argument("--json", default=None, metavar="PATH",
                           help="write the JSON report here "
                                "(default: <cache>/last_report.json)")

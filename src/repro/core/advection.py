@@ -32,6 +32,7 @@ import numpy as np
 
 from ..exceptions import CertificateError
 from ..polynomial import Polynomial, VariableVector
+from ..sdp import cone_for_relaxation, relaxation_ladder
 from ..sos import SemialgebraicSet, SOSProgram
 from ..utils import get_logger
 from .attractive import AttractiveInvariant
@@ -54,6 +55,14 @@ class AdvectionOptions:
     epsilon_weight: float = 1.0
     solver_backend: Optional[str] = None
     solver_settings: Dict[str, object] = field(default_factory=dict)
+    # Gram-cone relaxation of the per-iteration absorption checks (Lemma-1
+    # feasibility certificates): "dsos" | "sdsos" | "sos" | "auto".  A
+    # negative answer from a cheap cone is inconclusive, so "auto" retries
+    # each check up the ladder.  The ``sos_projection`` operator's fitting
+    # program deliberately stays on the exact PSD cone: its coverage
+    # constraint shapes the next advected set, and a cheaper cone there
+    # would make individual steps infeasible rather than merely conservative.
+    relaxation: str = "sos"
 
 
 @dataclass
@@ -181,17 +190,25 @@ class LevelSetAdvector:
 def _check_absorbed(polynomial: Polynomial, invariant: AttractiveInvariant,
                     domain: Optional[SemialgebraicSet],
                     options: AdvectionOptions) -> Optional[str]:
-    """Return the name of a level set of ``X1`` certified to contain the set."""
-    for mode_name, sublevel in invariant.sublevel_polynomials().items():
-        inclusion = check_sublevel_inclusion(
-            polynomial, sublevel,
-            multiplier_degree=options.inclusion_multiplier_degree,
-            domain=domain,
-            solver_backend=options.solver_backend,
-            **options.solver_settings,
-        )
-        if inclusion.holds:
-            return mode_name
+    """Return the name of a level set of ``X1`` certified to contain the set.
+
+    Walks the relaxation ladder cheapest-first: an inclusion certified by a
+    cheap cone is a valid SOS certificate, while a cheap-cone rejection is
+    inconclusive and retried one rung up.
+    """
+    for relaxation in relaxation_ladder(options.relaxation):
+        cone = cone_for_relaxation(relaxation)
+        for mode_name, sublevel in invariant.sublevel_polynomials().items():
+            inclusion = check_sublevel_inclusion(
+                polynomial, sublevel,
+                multiplier_degree=options.inclusion_multiplier_degree,
+                domain=domain,
+                solver_backend=options.solver_backend,
+                cone=cone,
+                **options.solver_settings,
+            )
+            if inclusion.holds:
+                return mode_name
     return None
 
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..exceptions import CertificateError
 from ..polynomial import Polynomial, VariableVector
+from ..sdp import cone_for_relaxation, relaxation_ladder
 from ..sos import (
     SemialgebraicSet,
     SOSProgram,
@@ -39,6 +40,10 @@ class EscapeOptions:
     solver_settings: Dict[str, object] = field(default_factory=dict)
     validate_samples: int = 1500
     validation_tolerance: float = 1e-4
+    # Gram-cone relaxation of the certificate search: "dsos" | "sdsos" |
+    # "sos" | "auto" (try cheap, escalate when the search is infeasible or
+    # the sampling validation fails).
+    relaxation: str = "sos"
 
 
 @dataclass
@@ -78,15 +83,43 @@ class EscapeCertificateSynthesizer:
                    ) -> EscapeCertificate:
         """Find ``E`` with ``∇E · f <= -delta`` on ``region``.
 
-        Raises :class:`CertificateError` when the SOS search fails (which,
-        being a sound-but-incomplete relaxation, does not prove that no
-        escape certificate exists).
+        Walks the relaxation ladder of ``options.relaxation``: a cheap rung
+        is accepted only when the search is feasible and the sampling
+        validation passes; otherwise the next (more expressive) cone is
+        tried.  The final rung's outcome is authoritative — its certificate
+        is returned even when its validation failed, and its
+        :class:`CertificateError` propagates (matching the single-rung
+        behaviour; the SOS relaxations being sound but incomplete, a failed
+        search does not prove that no escape certificate exists).  A cheap
+        rung's rejected certificate is never returned.
         """
+        ladder = relaxation_ladder(self.options.relaxation)
+        for index, relaxation in enumerate(ladder):
+            final = index == len(ladder) - 1
+            try:
+                result = self._synthesize_with(mode_name, vector_field, region,
+                                               bounds, relaxation)
+            except CertificateError:
+                if final:
+                    raise
+                continue
+            if result.validation_passed or final:
+                return result
+            LOGGER.info("escape certificate for %s under %s failed validation; "
+                        "escalating", mode_name, relaxation)
+        raise AssertionError("unreachable: the final ladder rung returns or raises")
+
+    def _synthesize_with(self, mode_name: str,
+                         vector_field: Sequence[Polynomial],
+                         region: SemialgebraicSet,
+                         bounds: Optional[Sequence[Tuple[float, float]]],
+                         relaxation: str) -> EscapeCertificate:
         options = self.options
         start = time.perf_counter()
         variables = region.variables
 
-        program = SOSProgram(name=f"escape_{mode_name}")
+        program = SOSProgram(name=f"escape_{mode_name}",
+                             default_cone=cone_for_relaxation(relaxation))
         certificate = program.new_polynomial_variable(
             variables, options.certificate_degree, name="E", min_degree=1)
         lie = certificate.lie_derivative(

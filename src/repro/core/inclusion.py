@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..polynomial import ParametricPolynomial, Polynomial, VariableVector
-from ..sdp import SolverResult, solve_conic_problems
+from ..sdp import SolverResult, normalize_gram_cone, solve_conic_problems
 from ..sos import ParametricSOSProgram, SemialgebraicSet, SOSProgram
 from ..utils import get_logger
 
@@ -24,7 +24,13 @@ LOGGER = get_logger("core.inclusion")
 
 @dataclass
 class InclusionCertificate:
-    """Result of a Lemma-1 inclusion check ``{inner <= 0} ⊆ {outer <= 0}``."""
+    """Result of a Lemma-1 inclusion check ``{inner <= 0} ⊆ {outer <= 0}``.
+
+    ``cone`` records the Gram-cone relaxation the certificate was searched
+    in (a certificate found in a cheaper cone is still a valid SOS
+    certificate, since DSOS ⊂ SDSOS ⊂ SOS; a *negative* answer from a
+    cheaper cone is weaker and typically retried one rung up the ladder).
+    """
 
     holds: bool
     multiplier: Optional[Polynomial]
@@ -32,6 +38,7 @@ class InclusionCertificate:
     inner: Polynomial
     outer: Polynomial
     warm_start_data: Optional[dict] = None
+    cone: str = "psd"
 
     def __bool__(self) -> bool:
         return self.holds
@@ -42,18 +49,21 @@ def build_inclusion_program(
     outer: Polynomial,
     multiplier_degree: int = 2,
     domain: Optional[SemialgebraicSet] = None,
+    cone: str = "psd",
 ) -> Tuple[SOSProgram, ParametricPolynomial, Polynomial, Polynomial]:
     """Construct the Lemma-1 feasibility program for one inclusion query.
 
     Returns ``(program, lambda_template, inner_aligned, outer_aligned)``; the
     query is feasible iff ``λ·inner − outer`` (minus domain S-procedure
-    terms) admits an SOS certificate with ``λ`` SOS.
+    terms) admits an SOS certificate with ``λ`` SOS.  ``cone`` selects the
+    Gram-cone relaxation of every SOS constraint in the program (``"psd"``,
+    ``"sdd"`` or ``"dd"``).
     """
     variables = inner.variables.union(outer.variables)
     inner_v = inner.with_variables(variables)
     outer_v = outer.with_variables(variables)
 
-    program = SOSProgram(name="sublevel_inclusion")
+    program = SOSProgram(name="sublevel_inclusion", default_cone=cone)
     lam = program.new_sos_polynomial(variables, multiplier_degree, name="lambda")
     expr = lam * inner_v - outer_v
     if domain is not None:
@@ -72,6 +82,7 @@ def check_sublevel_inclusion(
     domain: Optional[SemialgebraicSet] = None,
     solver_backend: Optional[str] = None,
     warm_start: Optional[dict] = None,
+    cone: str = "psd",
     **solver_settings,
 ) -> InclusionCertificate:
     """Certify ``{inner <= 0} ⊆ {outer <= 0}`` via Lemma 1.
@@ -87,7 +98,8 @@ def check_sublevel_inclusion(
     once and re-assembles each query as a sparse array operation.
     """
     program, lam, inner_v, outer_v = build_inclusion_program(
-        inner, outer, multiplier_degree=multiplier_degree, domain=domain)
+        inner, outer, multiplier_degree=multiplier_degree, domain=domain,
+        cone=cone)
     solution = program.solve(backend=solver_backend, warm_start=warm_start,
                              **solver_settings)
     warm_data = solution.solver_result.info.get("warm_start_data")
@@ -96,12 +108,14 @@ def check_sublevel_inclusion(
         return InclusionCertificate(holds=False, multiplier=None,
                                     status=solution.status.value,
                                     inner=inner_v, outer=outer_v,
-                                    warm_start_data=warm_data)
+                                    warm_start_data=warm_data,
+                                    cone=program.default_cone)
     multiplier = solution.polynomial(lam)
     return InclusionCertificate(holds=True, multiplier=multiplier,
                                 status=solution.status.value,
                                 inner=inner_v, outer=outer_v,
-                                warm_start_data=warm_data)
+                                warm_start_data=warm_data,
+                                cone=program.default_cone)
 
 
 class ParametricInclusionFamily:
@@ -119,15 +133,18 @@ class ParametricInclusionFamily:
                  multiplier_degree: int = 2,
                  domain: Optional[SemialgebraicSet] = None,
                  probes: Tuple[float, float] = (0.0, 1.0),
-                 check_affinity: bool = True):
+                 check_affinity: bool = True,
+                 cone: str = "psd"):
         self.certificate = certificate
         self.outer = outer
+        self.cone = normalize_gram_cone(cone)
         self.variables = certificate.variables.union(outer.variables)
 
         def build(theta: float):
             program, lam, _, _ = build_inclusion_program(
                 certificate - theta, outer,
-                multiplier_degree=multiplier_degree, domain=domain)
+                multiplier_degree=multiplier_degree, domain=domain,
+                cone=cone)
             return program, lam
 
         self.family = ParametricSOSProgram(build, probes=probes,
@@ -162,6 +179,7 @@ class ParametricInclusionFamily:
             inner=(self.certificate - level).with_variables(self.variables),
             outer=self.outer.with_variables(self.variables),
             warm_start_data=result.info.get("warm_start_data"),
+            cone=self.cone,
         )
 
     def check_levels(self, levels: Sequence[float],

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..exceptions import CertificateError
 from ..pll.model import MODE_IDLE, PLLVerificationModel
+from ..sdp import RELAXATIONS, cone_for_relaxation, relaxation_ladder
 from ..sos import SemialgebraicSet
 from ..utils import get_logger
 from .advection import AdvectionOptions, AdvectionResult, run_bounded_advection
@@ -42,6 +43,7 @@ from .report import (
     STEP_MAX_LEVEL_CURVES,
     STEP_SET_INCLUSION,
     VerificationReport,
+    join_relaxations,
 )
 
 LOGGER = get_logger("core.inevitability")
@@ -82,20 +84,32 @@ def run_mode_property_two(model, options: "InevitabilityOptions",
         options=options.advection)
     timings["advection"] = time.perf_counter() - start
 
-    # Dedicated inclusion re-check of the final advected set (Table 2 row).
+    # Dedicated inclusion re-check of the final advected set (Table 2 row),
+    # needed only when advection did not already certify absorption.  The
+    # relaxation ladder tries the cheap Gram cones first; a negative answer
+    # from a cheap cone is inconclusive, so the next rung retries with a
+    # more expressive cone.
     start = time.perf_counter()
     final_abs: Optional[str] = None
-    for target_name, sublevel in invariant.sublevel_polynomials().items():
-        inclusion = check_sublevel_inclusion(
-            advection.final_polynomial, sublevel,
-            multiplier_degree=options.advection.inclusion_multiplier_degree,
-            domain=domain,
-            solver_backend=options.advection.solver_backend,
-            **options.advection.solver_settings,
-        )
-        if inclusion.holds:
-            final_abs = target_name
-            break
+    inclusion_relaxation: Optional[str] = None
+    if not advection.converged:
+        for relaxation in relaxation_ladder(options.relaxation):
+            cone = cone_for_relaxation(relaxation)
+            for target_name, sublevel in invariant.sublevel_polynomials().items():
+                inclusion = check_sublevel_inclusion(
+                    advection.final_polynomial, sublevel,
+                    multiplier_degree=options.advection.inclusion_multiplier_degree,
+                    domain=domain,
+                    solver_backend=options.advection.solver_backend,
+                    cone=cone,
+                    **options.advection.solver_settings,
+                )
+                if inclusion.holds:
+                    final_abs = target_name
+                    inclusion_relaxation = relaxation
+                    break
+            if final_abs is not None:
+                break
     timings["inclusion"] = time.perf_counter() - start
 
     if advection.converged or final_abs is not None:
@@ -104,6 +118,7 @@ def run_mode_property_two(model, options: "InevitabilityOptions",
             status=VerificationStatus.VERIFIED,
             message=f"advected set absorbed by level set of "
                     f"{advection.absorbing_mode or final_abs}",
+            relaxation=inclusion_relaxation,
         ), timings
 
     # Advection inconclusive: Algorithm 1 lines 13-21 (escape certificate).
@@ -184,6 +199,27 @@ class InevitabilityOptions:
     # equilibrium — the CP PLL pumping modes, sliding-mode converters —
     # should use ``"box"``.
     levelset_domain: str = "mode"
+    # Gram-cone relaxation of the certificate pipeline: "dsos" | "sdsos" |
+    # "sos" | "auto" (escalation ladder).  Setting it here (at construction
+    # or via :meth:`apply_relaxation`) propagates to the Lyapunov and
+    # level-set stage options and to the Property-2 inclusion re-check.
+    relaxation: str = "sos"
+
+    def __post_init__(self) -> None:
+        if self.relaxation != "sos":
+            self.apply_relaxation(self.relaxation)
+
+    def apply_relaxation(self, relaxation: str) -> None:
+        """Set the Gram-cone relaxation of every pipeline stage."""
+        relaxation = str(relaxation).lower()
+        if relaxation not in RELAXATIONS:
+            raise ValueError(
+                f"unknown relaxation {relaxation!r}; expected one of {RELAXATIONS}")
+        self.relaxation = relaxation
+        self.lyapunov.relaxation = relaxation
+        self.levelset.relaxation = relaxation
+        self.advection.relaxation = relaxation
+        self.escape.relaxation = relaxation
 
 
 class InevitabilityVerifier:
@@ -208,6 +244,7 @@ class InevitabilityVerifier:
         report.add_timing(
             STEP_ATTRACTIVE_INVARIANT, time.perf_counter() - start,
             detail=f"degree {self.options.lyapunov.certificate_degree}",
+            relaxation=lyapunov.relaxation,
         )
         if not lyapunov.feasible:
             return PropertyOneResult(
@@ -233,7 +270,10 @@ class InevitabilityVerifier:
                 message=f"level-curve maximisation failed: {exc}",
             )
         report.add_timing(STEP_MAX_LEVEL_CURVES, time.perf_counter() - start,
-                          detail=f"strategy={self.options.levelset.strategy}")
+                          detail=f"strategy={self.options.levelset.strategy}",
+                          relaxation=join_relaxations(
+                              level_set.relaxation
+                              for level_set in invariant.level_sets.values()))
         status = VerificationStatus.VERIFIED if lyapunov.all_validations_passed \
             else VerificationStatus.FAILED
         return PropertyOneResult(
@@ -269,7 +309,7 @@ class InevitabilityVerifier:
             report.add_timing(STEP_ADVECTION, timings["advection"],
                               detail=f"{mode_name}: {iterations} iterations")
             report.add_timing(STEP_SET_INCLUSION, timings["inclusion"],
-                              detail=mode_name)
+                              detail=mode_name, relaxation=result.relaxation)
             if "escape" in timings:
                 report.add_timing(STEP_ESCAPE, timings["escape"],
                                   detail=mode_name)
@@ -295,6 +335,7 @@ class InevitabilityVerifier:
                 "advection_step": self.options.advection.time_step,
                 "advection_operator": self.options.advection.operator,
                 "uncertainty": self.model.uncertainty,
+                "relaxation": self.options.relaxation,
             },
         )
 

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..exceptions import CertificateError
 from ..polynomial import Polynomial
+from ..sdp import cone_for_relaxation, relaxation_ladder
 from ..sos import SemialgebraicSet, SOSProgram
 from ..utils import get_logger
 from .inclusion import ParametricInclusionFamily, check_sublevel_inclusion
@@ -60,6 +61,13 @@ class LevelSetOptions:
     #: Verify the affine-in-theta decomposition with a third structural
     #: compile when building each parametric family.
     check_affinity: bool = True
+    #: Gram-cone relaxation of the Lemma-1 certificates: ``"dsos"`` (LP
+    #: cones), ``"sdsos"`` (2x2 PSD blocks), ``"sos"`` (full PSD Gram, the
+    #: default) or ``"auto"`` — try the cheapest relaxation first and
+    #: escalate whenever it certifies no positive level.  A level certified
+    #: by a cheaper cone is still a sound SOS certificate (DSOS ⊂ SDSOS ⊂
+    #: SOS), merely possibly smaller than the full-SOS optimum.
+    relaxation: str = "sos"
 
 
 @dataclass
@@ -72,6 +80,9 @@ class MaximizedLevelSet:
     iterations: int
     certified_levels: List[float] = field(default_factory=list)
     rejected_levels: List[float] = field(default_factory=list)
+    #: Relaxation whose certificates produced ``level`` (``"dsos"``,
+    #: ``"sdsos"`` or ``"sos"``; under ``"auto"`` the rung that succeeded).
+    relaxation: str = "sos"
 
     @property
     def sublevel_polynomial(self) -> Polynomial:
@@ -95,7 +106,7 @@ class LevelSetMaximizer:
 
     # ------------------------------------------------------------------
     def _level_is_certified(self, certificate: Polynomial, level: float,
-                            domain: SemialgebraicSet) -> bool:
+                            domain: SemialgebraicSet, cone: str = "psd") -> bool:
         """One feasibility query: ``{V - level <= 0} ⊆ {g_j >= 0}`` for every j."""
         inner = certificate - level
         for k, constraint in enumerate(domain.inequalities):
@@ -104,6 +115,7 @@ class LevelSetMaximizer:
                 multiplier_degree=self.options.multiplier_degree,
                 solver_backend=self.options.solver_backend,
                 warm_start=self._warm_starts.get(k) if self.options.warm_start else None,
+                cone=cone,
                 **self.options.solver_settings,
             )
             if self.options.warm_start and inclusion.warm_start_data is not None:
@@ -132,10 +144,34 @@ class LevelSetMaximizer:
     def maximize(self, mode_name: str, certificate: Polynomial,
                  domain: SemialgebraicSet,
                  bounds: Optional[Sequence[Tuple[float, float]]] = None) -> MaximizedLevelSet:
-        """Find the largest certified level of one certificate."""
-        if self.options.strategy == "serial":
-            return self._maximize_serial(mode_name, certificate, domain, bounds)
-        return self._maximize_batched(mode_name, certificate, domain, bounds)
+        """Find the largest certified level of one certificate.
+
+        Walks the relaxation ladder of ``options.relaxation``: for every
+        rung the whole maximisation runs under that Gram cone; a rung that
+        certifies no positive level escalates to the next (more expressive,
+        more expensive) one.  Under the default ``"sos"`` the ladder has a
+        single rung and the behaviour is the classical full-SOS search.
+        """
+        ladder = relaxation_ladder(self.options.relaxation)
+        last_error: Optional[CertificateError] = None
+        for relaxation in ladder:
+            cone = cone_for_relaxation(relaxation)
+            try:
+                if self.options.strategy == "serial":
+                    result = self._maximize_serial(mode_name, certificate,
+                                                   domain, bounds, cone)
+                else:
+                    result = self._maximize_batched(mode_name, certificate,
+                                                    domain, bounds, cone)
+            except CertificateError as exc:
+                last_error = exc
+                LOGGER.info("level set for %s: relaxation %s certified no "
+                            "positive level; escalating", mode_name, relaxation)
+                continue
+            result.relaxation = relaxation
+            return result
+        assert last_error is not None
+        raise last_error
 
     # ------------------------------------------------------------------
     # Batched K-section path
@@ -200,7 +236,8 @@ class LevelSetMaximizer:
 
     def _maximize_batched(self, mode_name: str, certificate: Polynomial,
                           domain: SemialgebraicSet,
-                          bounds: Optional[Sequence[Tuple[float, float]]]) -> MaximizedLevelSet:
+                          bounds: Optional[Sequence[Tuple[float, float]]],
+                          cone: str = "psd") -> MaximizedLevelSet:
         options = self.options
         self._warm_starts = {}
         self._rejections = {}
@@ -216,6 +253,7 @@ class LevelSetMaximizer:
                 certificate, -constraint,
                 multiplier_degree=options.multiplier_degree,
                 check_affinity=options.check_affinity,
+                cone=cone,
             ).compile()
             for constraint in domain.inequalities
         ]
@@ -296,7 +334,8 @@ class LevelSetMaximizer:
     # ------------------------------------------------------------------
     def _maximize_serial(self, mode_name: str, certificate: Polynomial,
                          domain: SemialgebraicSet,
-                         bounds: Optional[Sequence[Tuple[float, float]]]) -> MaximizedLevelSet:
+                         bounds: Optional[Sequence[Tuple[float, float]]],
+                         cone: str = "psd") -> MaximizedLevelSet:
         """Bisect for the largest certified level of one certificate."""
         options = self.options
         self._warm_starts = {}
@@ -311,7 +350,7 @@ class LevelSetMaximizer:
 
         # Ensure the upper end is genuinely infeasible (otherwise expand).
         expansions = 0
-        while self._level_is_certified(certificate, upper, domain):
+        while self._level_is_certified(certificate, upper, domain, cone):
             certified.append(upper)
             lower = upper
             upper *= 2.0
@@ -325,7 +364,7 @@ class LevelSetMaximizer:
                 iterations < options.max_bisection_iterations:
             mid = 0.5 * (lower + upper)
             iterations += 1
-            if self._level_is_certified(certificate, mid, domain):
+            if self._level_is_certified(certificate, mid, domain, cone):
                 certified.append(mid)
                 best = mid
                 lower = mid

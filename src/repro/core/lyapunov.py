@@ -25,6 +25,7 @@ import numpy as np
 from ..exceptions import CertificateError
 from ..hybrid import HybridSystem, Mode
 from ..polynomial import ParametricPolynomial, Polynomial, Variable, VariableVector
+from ..sdp import cone_for_relaxation, relaxation_ladder
 from ..sos import (
     SemialgebraicSet,
     SOSProgram,
@@ -75,6 +76,22 @@ class LyapunovSynthesisOptions:
     # over the full over-approximated flow strip, which is infeasible for
     # dynamics that do not control the switching coordinate.
     mode_equalities: Optional[Mapping[str, Sequence[Polynomial]]] = None
+    # Gram-cone relaxation of every SOS constraint in the program: "dsos"
+    # (diagonally-dominant Gram matrices -> pure LP cones), "sdsos" (scaled
+    # diagonal dominance -> sums of 2x2 PSD blocks), "sos" (full PSD Gram,
+    # the default) or "auto" — try the cheapest relaxation first and escalate
+    # when the solve is infeasible or the extracted certificates fail
+    # numerical validation.  Certificates found in a cheaper cone are valid
+    # SOS certificates (DSOS ⊂ SDSOS ⊂ SOS).
+    relaxation: str = "sos"
+    # Tolerances of the Gram-certificate soundness gate used by the "auto"
+    # ladder before accepting a cheap-cone solution (reuses
+    # SOSCertificate.is_numerically_sos on the reconstructed Gram matrices).
+    # The residual tolerance is calibrated against the first-order ADMM
+    # backend: converged moderate-accuracy solves reconstruct to ~1e-3..1e-2
+    # while infeasible cheap-cone attempts leave residuals of order 1e-1.
+    relaxation_eig_tol: float = -1e-6
+    relaxation_res_tol: float = 2e-2
 
 
 @dataclass
@@ -100,6 +117,9 @@ class LyapunovResult:
     synthesis_time: float
     validation_reports: List[object] = field(default_factory=list)
     message: str = ""
+    #: Relaxation that produced the returned certificates ("dsos", "sdsos"
+    #: or "sos"; under "auto" the rung that was accepted).
+    relaxation: str = "sos"
 
     def certificate_for(self, mode_name: str) -> Polynomial:
         if mode_name not in self.certificates:
@@ -256,10 +276,16 @@ class MultipleLyapunovSynthesizer:
     # ------------------------------------------------------------------
     # Program construction
     # ------------------------------------------------------------------
-    def build_program(self) -> Tuple[SOSProgram, Dict[str, ParametricPolynomial]]:
+    def build_program(self, cone: Optional[str] = None
+                      ) -> Tuple[SOSProgram, Dict[str, ParametricPolynomial]]:
         options = self.options
         state_vars = self.system.state_variables
-        program = SOSProgram(name=f"lyapunov_{self.system.name}")
+        if cone is None:
+            # Direct callers get the most expressive rung of the configured
+            # ladder ("auto" -> the full PSD program).
+            cone = cone_for_relaxation(relaxation_ladder(options.relaxation)[-1])
+        program = SOSProgram(name=f"lyapunov_{self.system.name}",
+                             default_cone=cone)
 
         templates: Dict[str, ParametricPolynomial] = {}
         shared: Optional[ParametricPolynomial] = None
@@ -358,9 +384,47 @@ class MultipleLyapunovSynthesizer:
 
     # ------------------------------------------------------------------
     def synthesize(self) -> LyapunovResult:
-        """Solve the SOS program and validate the resulting certificates."""
+        """Solve the SOS program and validate the resulting certificates.
+
+        Walks the relaxation ladder of ``options.relaxation`` (a single rung
+        unless ``"auto"``): each rung lowers every Gram matrix to its cone,
+        solves, and validates; a cheap rung is accepted only when the solve
+        is feasible, the extracted Gram certificates are numerically sound
+        *in the full PSD sense* (``SOSCertificate.is_numerically_sos`` on
+        the reconstructed matrices) and the sampling validation passes —
+        otherwise the search escalates.  The final rung is returned as-is,
+        reproducing the classical behaviour for ``relaxation="sos"``.
+        """
         start = time.perf_counter()
-        program, templates = self.build_program()
+        ladder = relaxation_ladder(self.options.relaxation)
+        result: Optional[LyapunovResult] = None
+        for index, relaxation in enumerate(ladder):
+            final = index == len(ladder) - 1
+            result = self._synthesize_with(relaxation, start)
+            if result.feasible and (final or self._certificates_sound(result)):
+                if index > 0:
+                    LOGGER.info("relaxation ladder settled on %s for %s",
+                                relaxation, self.system.name)
+                return result
+            if not final:
+                LOGGER.info("relaxation %s rejected for %s (%s); escalating",
+                            relaxation, self.system.name, result.message)
+        assert result is not None
+        return result
+
+    def _certificates_sound(self, result: LyapunovResult) -> bool:
+        """Numerical soundness gate of the ``auto`` ladder's cheap rungs."""
+        if result.solution is None or not result.solution.certificates:
+            return False
+        return all(cert.is_numerically_sos(
+                       eig_tol=self.options.relaxation_eig_tol,
+                       res_tol=self.options.relaxation_res_tol)
+                   for cert in result.solution.certificates.values())
+
+    def _synthesize_with(self, relaxation: str, start: float) -> LyapunovResult:
+        """One synthesis attempt under a fixed Gram-cone relaxation."""
+        program, templates = self.build_program(
+            cone=cone_for_relaxation(relaxation))
         LOGGER.info("solving %s", program.describe())
         solution = program.solve(backend=self.options.solver_backend,
                                  **self.options.solver_settings)
@@ -378,6 +442,7 @@ class MultipleLyapunovSynthesizer:
                 feasible=False, certificates={}, solution=solution,
                 options=self.options, synthesis_time=elapsed,
                 message=f"SOS program not solved: {solution.status.value}",
+                relaxation=relaxation,
             )
 
         certificates: Dict[str, ModeCertificate] = {}
@@ -399,6 +464,7 @@ class MultipleLyapunovSynthesizer:
             feasible=feasible, certificates=certificates, solution=solution,
             options=self.options, synthesis_time=elapsed,
             validation_reports=reports, message=message,
+            relaxation=relaxation,
         )
 
     # ------------------------------------------------------------------

@@ -73,6 +73,9 @@ class ModePropertyTwoResult:
     escape: Optional[EscapeCertificate]
     status: VerificationStatus
     message: str = ""
+    #: Relaxation whose Lemma-1 certificate settled the final set-inclusion
+    #: re-check (``None`` when no inclusion certificate was found).
+    relaxation: Optional[str] = None
 
 
 @dataclass

@@ -3,9 +3,19 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .properties import PropertyOneResult, PropertyTwoResult, VerificationStatus
+
+
+def join_relaxations(relaxations: Iterable[Optional[str]]) -> Optional[str]:
+    """Canonical relaxation column value: dedupe preserving first-seen order,
+    join with commas, ``None`` when nothing was recorded."""
+    seen: List[str] = []
+    for relaxation in relaxations:
+        if relaxation and relaxation not in seen:
+            seen.append(relaxation)
+    return ",".join(seen) if seen else None
 
 #: Canonical step names, matching the rows of Table 2 of the paper.
 STEP_ATTRACTIVE_INVARIANT = "Attractive Invariant"
@@ -28,11 +38,14 @@ TABLE2_STEP_ORDER = (
 
 @dataclass
 class StepTiming:
-    """Wall-clock timing and detail string for one verification step."""
+    """Wall-clock timing, detail string and relaxation of one verification step."""
 
     step: str
     seconds: float
     detail: str = ""
+    #: Gram-cone relaxation that certified this step ("dsos"/"sdsos"/"sos"),
+    #: or ``None`` for steps without conic certificates (e.g. falsification).
+    relaxation: Optional[str] = None
 
 
 @dataclass
@@ -59,22 +72,26 @@ class VerificationReport:
         return sum(t.seconds for t in self.timings)
 
     # ------------------------------------------------------------------
-    def add_timing(self, step: str, seconds: float, detail: str = "") -> None:
-        self.timings.append(StepTiming(step=step, seconds=seconds, detail=detail))
+    def add_timing(self, step: str, seconds: float, detail: str = "",
+                   relaxation: Optional[str] = None) -> None:
+        self.timings.append(StepTiming(step=step, seconds=seconds,
+                                       detail=detail, relaxation=relaxation))
 
     def timing_for(self, step: str) -> float:
         return sum(t.seconds for t in self.timings if t.step == step)
 
-    def table2_rows(self) -> List[Tuple[str, float, str]]:
-        """Rows of the paper's Table 2 for this system: (step, seconds, detail).
+    def table2_rows(self) -> List[Tuple[str, float, str, Optional[str]]]:
+        """Rows of the paper's Table 2: (step, seconds, detail, relaxation).
 
         Canonical steps come first in the paper's order; any other recorded
         step (e.g. the engine's falsification cross-check) follows in
         alphabetical order, so the row ordering is fully deterministic and no
         timing is silently dropped.  Skipped steps (no timing entries)
-        produce no row.
+        produce no row.  The relaxation column joins the distinct
+        relaxations recorded for the step's entries (``None`` when none was
+        recorded).
         """
-        rows: List[Tuple[str, float, str]] = []
+        rows: List[Tuple[str, float, str, Optional[str]]] = []
         extra_steps = sorted({t.step for t in self.timings
                               if t.step not in TABLE2_STEP_ORDER})
         for step in tuple(TABLE2_STEP_ORDER) + tuple(extra_steps):
@@ -83,7 +100,8 @@ class VerificationReport:
                 continue
             seconds = sum(t.seconds for t in entries)
             detail = "; ".join(t.detail for t in entries if t.detail)
-            rows.append((step, seconds, detail))
+            rows.append((step, seconds, detail,
+                         join_relaxations(t.relaxation for t in entries)))
         return rows
 
     # ------------------------------------------------------------------
@@ -108,8 +126,10 @@ class VerificationReport:
         rows = self.table2_rows()
         if rows:
             lines.append("Timing breakdown (Table 2 analogue):")
-            for step, seconds, detail in rows:
+            for step, seconds, detail, relaxation in rows:
                 suffix = f"  [{detail}]" if detail else ""
+                if relaxation:
+                    suffix = f"{suffix}  <{relaxation}>"
                 lines.append(f"    {step:24s} {seconds:10.3f} s{suffix}")
             lines.append(f"    {'Total':24s} {self.total_time:10.3f} s")
         else:
@@ -150,8 +170,9 @@ class VerificationReport:
             },
             "inevitability": self.inevitability_status.value,
             "timings": [
-                {"step": step, "seconds": seconds, "detail": detail}
-                for step, seconds, detail in self.table2_rows()
+                {"step": step, "seconds": seconds, "detail": detail,
+                 "relaxation": relaxation}
+                for step, seconds, detail, relaxation in self.table2_rows()
             ],
             "total_seconds": self.total_time,
             "options": dict(self.options_summary),

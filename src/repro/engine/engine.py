@@ -44,7 +44,7 @@ from ..core.inevitability import (
     run_mode_property_two,
 )
 from ..core.levelset import MaximizedLevelSet
-from ..core.report import STEP_FALSIFICATION_CHECK
+from ..core.report import STEP_FALSIFICATION_CHECK, join_relaxations
 from ..exceptions import CertificateError
 from ..sdp import set_solve_cache, solve_counters
 from ..utils import get_logger
@@ -76,18 +76,23 @@ class EngineOptions:
     cache_dir: Optional[str] = None    # None = default cache location
     job_timeout: Optional[float] = None  # seconds; enforced for pool runs
     seed: int = 0                      # threaded into falsification sampling
+    # Gram-cone relaxation override: "dsos" | "sdsos" | "sos" | "auto".
+    # None keeps each scenario's registered relaxation.
+    relaxation: Optional[str] = None
 
 
 # ----------------------------------------------------------------------
 # Step implementations (run inside workers; everything crossing the
 # boundary is plain data)
 # ----------------------------------------------------------------------
-def _prepared_problem(scenario: str):
+def _prepared_problem(scenario: str, relaxation: Optional[str] = None):
     from ..scenarios import build_problem
 
     problem = build_problem(scenario)
     if problem.options.lyapunov.domain_boxes is None:
         problem.options.lyapunov.domain_boxes = problem.state_bounds()
+    if relaxation:
+        problem.options.apply_relaxation(relaxation)
     return problem
 
 
@@ -104,6 +109,7 @@ def _step_lyapunov(problem) -> Tuple[str, str, Dict[str, object]]:
         "certificates": certificates_to_data(certificates),
         "validations": [str(report) for report in result.validation_reports],
         "degree": problem.options.lyapunov.certificate_degree,
+        "relaxation": result.relaxation,
     }
     status = "ok" if result.feasible else "failed"
     return status, result.message, data
@@ -127,6 +133,7 @@ def _step_levelset(problem, mode: str,
         "certified": len(level_set.certified_levels),
         "rejected": len(level_set.rejected_levels),
         "strategy": options.levelset.strategy,
+        "relaxation": level_set.relaxation,
     }
     return "ok", f"level {level_set.level:.4g}", data
 
@@ -164,6 +171,7 @@ def _step_advection(problem, mode: str, certificates_data: Dict[str, object],
         "escape": ({"validation_passed": bool(result.escape.validation_passed)}
                    if result.escape is not None else None),
         "mode_status": result.status.value,
+        "relaxation": result.relaxation,
     }
     status = "ok" if result.status is VerificationStatus.VERIFIED else "failed"
     return status, result.message, data
@@ -211,7 +219,8 @@ def _execute_job(payload: Dict[str, object]) -> Dict[str, object]:
     previous = set_solve_cache(cache)
     before = solve_counters()
     try:
-        problem = _prepared_problem(payload["scenario"])
+        problem = _prepared_problem(payload["scenario"],
+                                    payload.get("relaxation"))
         step = payload["step"]
         if step == STEP_LYAPUNOV:
             status, detail, data = _step_lyapunov(problem)
@@ -238,7 +247,8 @@ def _execute_job(payload: Dict[str, object]) -> Dict[str, object]:
         "detail": detail,
         "data": data,
         "seconds": time.perf_counter() - start,
-        "counters": {key: after[key] - before[key] for key in after},
+        # Layout-keyed counter keys can appear mid-job, so diff with .get.
+        "counters": {key: after[key] - before.get(key, 0) for key in after},
         # The cache object is fresh per job, so its stats are this job's delta.
         "cache_stats": cache.stats.as_dict() if cache is not None else {},
     }
@@ -326,6 +336,7 @@ class _ScenarioDriver:
             "use_cache": options.use_cache,
             "cache_dir": options.cache_dir,
             "seed": options.seed,
+            "relaxation": options.relaxation,
         }
         if spec.step == STEP_LEVELSET:
             lyap = self.results[spec.depends_on[0]].data
@@ -341,14 +352,16 @@ class _ScenarioDriver:
         return payload
 
     def record(self, spec: JobSpec, outcome: Dict[str, object]) -> None:
+        data = dict(outcome.get("data", {}))
         self.results[spec.job_id] = JobResult(
             job_id=spec.job_id, scenario=spec.scenario, step=spec.step,
             mode=spec.mode, status=JobStatus(outcome["status"]),
             seconds=float(outcome.get("seconds", 0.0)),
             detail=str(outcome.get("detail", "")),
-            data=dict(outcome.get("data", {})),
+            data=data,
             counters=dict(outcome.get("counters", {})),
             cache_stats=dict(outcome.get("cache_stats", {})),
+            relaxation=data.get("relaxation"),
         )
 
     def record_timeout(self, spec: JobSpec, seconds: float) -> None:
@@ -432,6 +445,7 @@ class EngineReport:
                 "use_cache": self.options.use_cache,
                 "cache_dir": self.options.cache_dir,
                 "seed": self.options.seed,
+                "relaxation": self.options.relaxation,
                 "wall_seconds": self.wall_seconds,
                 "counters": dict(self.counters),
                 "cache_stats": dict(self.cache_stats),
@@ -455,8 +469,9 @@ class EngineReport:
                 f"inevitability={outcome.report.inevitability_status.value} "
                 f"(expected {outcome.expected})")
             for job in outcome.jobs:
+                relax = f" <{job.relaxation}>" if job.relaxation else ""
                 lines.append(f"    {job.job_id:40s} {job.status.value:8s} "
-                             f"{job.seconds:7.2f}s  {job.detail}")
+                             f"{job.seconds:7.2f}s  {job.detail}{relax}")
             lines.append("")
         return "\n".join(lines)
 
@@ -491,7 +506,8 @@ def _assemble_report(problem, driver: _ScenarioDriver) -> VerificationReport:
         return report
     if lyap.seconds:
         report.add_timing(STEP_ATTRACTIVE_INVARIANT, lyap.seconds,
-                          detail=f"degree {lyap.data.get('degree', '?')}")
+                          detail=f"degree {lyap.data.get('degree', '?')}",
+                          relaxation=lyap.relaxation)
     if not lyap.status.is_ok:
         report.property_one = PropertyOneResult(
             status=VerificationStatus.INCONCLUSIVE, lyapunov=None,
@@ -505,7 +521,9 @@ def _assemble_report(problem, driver: _ScenarioDriver) -> VerificationReport:
     levelset_seconds = sum(res.seconds for res in level_results.values())
     if levelset_seconds:
         report.add_timing(STEP_MAX_LEVEL_CURVES, levelset_seconds,
-                          detail=f"{len(level_results)} mode(s)")
+                          detail=f"{len(level_results)} mode(s)",
+                          relaxation=join_relaxations(
+                              res.relaxation for res in level_results.values()))
     invariant = None
     if levels_ok and level_results:
         invariant = _rebuild_invariant(
@@ -551,7 +569,7 @@ def _assemble_report(problem, driver: _ScenarioDriver) -> VerificationReport:
         if job.data.get("inclusion_seconds"):
             report.add_timing(STEP_SET_INCLUSION,
                               float(job.data["inclusion_seconds"]),
-                              detail=spec.mode)
+                              detail=spec.mode, relaxation=job.relaxation)
         if job.data.get("escape_seconds"):
             report.add_timing(STEP_ESCAPE, float(job.data["escape_seconds"]),
                               detail=spec.mode)
@@ -617,7 +635,7 @@ class VerificationEngine:
     # ------------------------------------------------------------------
     def plan(self, scenario: str) -> List[JobSpec]:
         """The DAG the engine would run for one scenario (introspection)."""
-        problem = _prepared_problem(scenario)
+        problem = _prepared_problem(scenario, self.options.relaxation)
         driver = _ScenarioDriver(scenario, problem, self.options)
         return list(driver.specs.values())
 
@@ -629,7 +647,7 @@ class VerificationEngine:
 
         drivers = []
         for name in scenarios:
-            problem = _prepared_problem(name)
+            problem = _prepared_problem(name, options.relaxation)
             drivers.append(_ScenarioDriver(name, problem, options))
 
         if options.jobs > 1:
@@ -751,9 +769,11 @@ class VerificationEngine:
         if options.jobs == 1:
             # Inline runs share the parent's process-wide counters; prefer the
             # exact process delta (identical to the per-job sum, but also
-            # covers planning-time solves if any are ever added).
+            # covers planning-time solves if any are ever added).  Layout-
+            # keyed counter keys can appear mid-run, so diff with .get.
             after = solve_counters()
-            totals = {key: after[key] - before_counters[key] for key in after}
+            totals = {key: after[key] - before_counters.get(key, 0)
+                      for key in after}
 
         return EngineReport(
             outcomes=outcomes,

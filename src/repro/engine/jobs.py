@@ -68,6 +68,9 @@ class JobResult:
     data: Dict[str, object] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Gram-cone relaxation that actually certified this step ("dsos",
+    #: "sdsos" or "sos"); ``None`` for steps without conic certificates.
+    relaxation: Optional[str] = None
 
     def to_json_dict(self) -> Dict[str, object]:
         return {
@@ -78,6 +81,7 @@ class JobResult:
             "status": self.status.value,
             "seconds": self.seconds,
             "detail": self.detail,
+            "relaxation": self.relaxation,
             "counters": dict(self.counters),
             "cache_stats": dict(self.cache_stats),
         }

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
+from ..sdp import RELAXATIONS
 from .problem import ScenarioProblem
 
 #: Allowed values of :attr:`ScenarioSpec.expected`.
@@ -52,6 +53,11 @@ class ScenarioSpec:
         Outcome the registry promises: ``"verified"`` (both properties),
         ``"property_one"`` (attractive invariant only), ``"inconclusive"``
         (known-hard workload) or ``"any"`` (exploratory).
+    relaxation:
+        Gram-cone relaxation of the certificate pipeline: ``"dsos"``,
+        ``"sdsos"``, ``"sos"`` (default) or ``"auto"`` (escalation ladder).
+        Propagated into the built problem's stage options; the engine/CLI
+        ``--relaxation`` override wins over this registered default.
     tags:
         Free-form labels (``"pll"``, ``"power"``, ``"continuous"``, …).
     fast:
@@ -65,6 +71,7 @@ class ScenarioSpec:
     multiplier_degree: int = 2
     solver_settings: Mapping[str, object] = field(default_factory=dict)
     expected: str = "verified"
+    relaxation: str = "sos"
     tags: Tuple[str, ...] = ()
     fast: bool = False
 
@@ -73,12 +80,18 @@ class ScenarioSpec:
             raise ValueError(
                 f"scenario {self.name!r}: expected outcome {self.expected!r} "
                 f"not in {EXPECTED_OUTCOMES}")
+        if self.relaxation not in RELAXATIONS:
+            raise ValueError(
+                f"scenario {self.name!r}: relaxation {self.relaxation!r} "
+                f"not in {RELAXATIONS}")
 
     def build(self) -> ScenarioProblem:
         """Construct the scenario's verification problem."""
         problem = self.builder(self)
         problem.name = self.name
         problem.expected = self.expected
+        if self.relaxation != "sos":
+            problem.options.apply_relaxation(self.relaxation)
         return problem
 
     def summary_row(self) -> Dict[str, object]:
@@ -87,6 +100,7 @@ class ScenarioSpec:
             "description": self.description,
             "degree": self.certificate_degree,
             "expected": self.expected,
+            "relaxation": self.relaxation,
             "tags": list(self.tags),
             "fast": self.fast,
         }
@@ -100,6 +114,7 @@ def register_scenario(name: str, description: str, *,
                       multiplier_degree: int = 2,
                       solver_settings: Optional[Mapping[str, object]] = None,
                       expected: str = "verified",
+                      relaxation: str = "sos",
                       tags: Tuple[str, ...] = (),
                       fast: bool = False,
                       overwrite: bool = False):
@@ -116,6 +131,7 @@ def register_scenario(name: str, description: str, *,
             multiplier_degree=multiplier_degree,
             solver_settings=dict(solver_settings or {}),
             expected=expected,
+            relaxation=relaxation,
             tags=tuple(tags),
             fast=fast,
         )

@@ -15,6 +15,17 @@ from .cones import (
     svec_dim,
     svec_indices,
 )
+from .gramcone import (
+    AUTO_LADDER,
+    GRAM_CONES,
+    RELAXATION_CONES,
+    RELAXATIONS,
+    GramBlockHandle,
+    cone_for_relaxation,
+    make_gram_block,
+    normalize_gram_cone,
+    relaxation_ladder,
+)
 from .problem import ConicProblem, ConicProblemBuilder, VariableBlock
 from .result import SolveHistory, SolverResult, SolverStatus
 from .scaling import ScalingData, drop_zero_rows, equilibrate, presolve, row_inf_norms
@@ -49,6 +60,15 @@ __all__ = [
     "ConicProblem",
     "ConicProblemBuilder",
     "VariableBlock",
+    "GRAM_CONES",
+    "RELAXATIONS",
+    "RELAXATION_CONES",
+    "AUTO_LADDER",
+    "GramBlockHandle",
+    "make_gram_block",
+    "normalize_gram_cone",
+    "cone_for_relaxation",
+    "relaxation_ladder",
     "SolverResult",
     "SolverStatus",
     "SolveHistory",

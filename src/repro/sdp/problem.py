@@ -27,12 +27,21 @@ from .cones import ConeDims, cone_violation, svec_dim, svec_entry_coefficient, s
 
 @dataclass
 class ConicProblem:
-    """An immutable conic program in standard form."""
+    """An immutable conic program in standard form.
+
+    ``layout`` is an optional tag describing how the cone blocks were
+    *derived* (e.g. the Gram-cone relaxation of each SOS constraint,
+    ``"dd:10,psd:6"``).  It is part of :meth:`fingerprint`, so two problems
+    that happen to share identical ``(c, A, b, dims)`` data but come from
+    different relaxations — possible for small Gram orders where e.g. the
+    SDD lowering coincides with the PSD block — never share a cache entry.
+    """
 
     c: np.ndarray
     A: sp.csr_matrix
     b: np.ndarray
     dims: ConeDims
+    layout: str = ""
 
     def __post_init__(self) -> None:
         self.c = np.asarray(self.c, dtype=float).ravel()
@@ -93,7 +102,24 @@ class ConicProblem:
         digest.update(np.ascontiguousarray(self.c, dtype=np.float64).tobytes())
         digest.update(repr((self.dims.free, self.dims.nonneg,
                             tuple(self.dims.psd))).encode("utf-8"))
+        digest.update(self.layout.encode("utf-8"))
         return digest.hexdigest()
+
+    @property
+    def layout_kind(self) -> str:
+        """Canonical cone-layout kind of the problem, for keyed solve counters.
+
+        Problems built through the SOS layer carry a per-Gram-block layout
+        tag (``"dd:10,psd:6"``); the kind is the sorted set of distinct
+        cone kinds joined with ``+`` (``"dd+psd"``).  Problems without a
+        layout tag report ``"psd"`` when they contain PSD blocks and
+        ``"lp"`` otherwise.
+        """
+        if self.layout:
+            kinds = sorted({part.split(":", 1)[0]
+                            for part in self.layout.split(",") if part})
+            return "+".join(kinds)
+        return "psd" if self.dims.psd else "lp"
 
     def describe(self) -> str:
         return (f"ConicProblem({self.num_constraints} equalities, "
@@ -149,6 +175,7 @@ class ConicProblemBuilder:
         self._num_rows: int = 0
         self._cost: Dict[Tuple[int, int], float] = {}
         self._blocks: List[VariableBlock] = []
+        self._layout: str = ""
         self._built: Optional[ConicProblem] = None
 
     # -- block allocation ---------------------------------------------------
@@ -177,6 +204,30 @@ class ConicProblemBuilder:
         block = VariableBlock("psd", -1, svec_dim(order), order=order, name=name)
         self._psd_blocks.append(block)
         return self._register(block), block
+
+    def add_gram_block(self, order: int, cone: str = "psd", name: str = ""):
+        """Allocate the lifted variables of one Gram matrix under a cone.
+
+        ``cone`` selects the relaxation (``"psd"``, ``"sdd"`` or ``"dd"``;
+        relaxation aliases ``"sos"``/``"sdsos"``/``"dsos"`` are accepted).
+        Returns a :class:`~repro.sdp.gramcone.GramBlockHandle` whose
+        ``entry_triplets`` lower symmetric Gram-entry coefficients onto the
+        allocated blocks and whose ``matrix`` reconstructs the Gram matrix
+        from a solution vector.
+        """
+        from .gramcone import make_gram_block
+
+        return make_gram_block(self, order, cone=cone, name=name)
+
+    def set_layout(self, layout: str) -> None:
+        """Tag the built problem with a cone-layout description.
+
+        The tag enters :meth:`ConicProblem.fingerprint`, keeping problems
+        lowered under different Gram-cone relaxations cache-distinct even
+        when their numeric data coincides.
+        """
+        self._layout = str(layout)
+        self._built = None
 
     # -- constraints and objective -------------------------------------------
     def add_equality_row(self, entries: Dict[Tuple[int, int], float], rhs: float) -> int:
@@ -310,7 +361,7 @@ class ConicProblemBuilder:
         for (block_id, local), coeff in self._cost.items():
             block = self._blocks[block_id]
             c[block.offset + local] += coeff
-        self._built = ConicProblem(c=c, A=A, b=b, dims=dims)
+        self._built = ConicProblem(c=c, A=A, b=b, dims=dims, layout=self._layout)
         return self._built
 
     # -- solution unpacking ----------------------------------------------------

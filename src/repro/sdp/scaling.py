@@ -89,7 +89,7 @@ def equilibrate(problem: ConicProblem, min_scale: float = 1e-6,
     else:
         cost_scale = 1.0
 
-    scaled = ConicProblem(c=c, A=A, b=b, dims=problem.dims)
+    scaled = ConicProblem(c=c, A=A, b=b, dims=problem.dims, layout=problem.layout)
     return scaled, ScalingData(row_scale=row_scale, cost_scale=cost_scale)
 
 
@@ -110,7 +110,8 @@ def drop_zero_rows(problem: ConicProblem, tolerance: float = 0.0) -> ConicProble
         return problem
     _check_zero_rows(zero_rows, problem.b)
     keep = np.setdiff1d(np.arange(A.shape[0]), zero_rows)
-    return ConicProblem(c=problem.c, A=A[keep], b=problem.b[keep], dims=problem.dims)
+    return ConicProblem(c=problem.c, A=A[keep], b=problem.b[keep],
+                        dims=problem.dims, layout=problem.layout)
 
 
 def presolve(problem: ConicProblem, scale: bool = True, min_scale: float = 1e-6,
@@ -140,7 +141,8 @@ def presolve(problem: ConicProblem, scale: bool = True, min_scale: float = 1e-6,
         m = A.shape[0]
 
     if not scale:
-        return ConicProblem(c=problem.c, A=A, b=b, dims=problem.dims), None
+        return ConicProblem(c=problem.c, A=A, b=b, dims=problem.dims,
+                            layout=problem.layout), None
 
     row_scale = np.ones(m)
     if m > 0 and A.nnz > 0:
@@ -159,5 +161,5 @@ def presolve(problem: ConicProblem, scale: bool = True, min_scale: float = 1e-6,
     else:
         cost_scale = 1.0
 
-    scaled = ConicProblem(c=c, A=A, b=b, dims=problem.dims)
+    scaled = ConicProblem(c=c, A=A, b=b, dims=problem.dims, layout=problem.layout)
     return scaled, ScalingData(row_scale=row_scale, cost_scale=cost_scale)

@@ -23,8 +23,18 @@ SolverFactory = Callable[[], object]
 # ``solved`` counts actual conic solves performed by a backend, ``cache_hit``
 # counts solves served from the installed solve cache.  The verification
 # engine asserts against these that a warm-cache re-verification performs
-# zero SDP solves.
-_SOLVE_COUNTERS = {"solved": 0, "cache_hit": 0}
+# zero SDP solves.  Each event is additionally keyed by the problem's cone
+# layout kind (``solved:psd``, ``solved:sdd``, ``cache_hit:dd``, ...) so
+# cache and parity tests can assert *which* Gram-cone relaxation actually
+# solved (see :attr:`repro.sdp.problem.ConicProblem.layout_kind`).
+_BASE_COUNTERS = ("solved", "cache_hit")
+_SOLVE_COUNTERS: Dict[str, int] = {key: 0 for key in _BASE_COUNTERS}
+
+
+def _count_solve_event(event: str, problem: ConicProblem, amount: int = 1) -> None:
+    _SOLVE_COUNTERS[event] = _SOLVE_COUNTERS.get(event, 0) + amount
+    keyed = f"{event}:{problem.layout_kind}"
+    _SOLVE_COUNTERS[keyed] = _SOLVE_COUNTERS.get(keyed, 0) + amount
 
 
 def solve_counters() -> Dict[str, int]:
@@ -33,8 +43,8 @@ def solve_counters() -> Dict[str, int]:
 
 
 def reset_solve_counters() -> None:
-    for key in _SOLVE_COUNTERS:
-        _SOLVE_COUNTERS[key] = 0
+    _SOLVE_COUNTERS.clear()
+    _SOLVE_COUNTERS.update({key: 0 for key in _BASE_COUNTERS})
 
 
 # Optional pluggable result cache.  Any object with ``get(key) ->
@@ -164,10 +174,10 @@ def solve_conic_problem(problem: ConicProblem,
         key = solve_cache_key(problem, backend, settings)
         cached = cache.get(key)
         if cached is not None:
-            _SOLVE_COUNTERS["cache_hit"] += 1
+            _count_solve_event("cache_hit", problem)
             return cached
     result = _solve_single_uncached(problem, backend, warm_start, settings)
-    _SOLVE_COUNTERS["solved"] += 1
+    _count_solve_event("solved", problem)
     if cache is not None and key is not None:
         cache.put(key, result)
     return result
@@ -202,7 +212,7 @@ def solve_conic_problems(problems: Sequence[ConicProblem],
             keys[i] = solve_cache_key(problem, backend, settings)
             cached = cache.get(keys[i])
             if cached is not None:
-                _SOLVE_COUNTERS["cache_hit"] += 1
+                _count_solve_event("cache_hit", problem)
                 results[i] = cached
             else:
                 pending.append(i)
@@ -210,7 +220,8 @@ def solve_conic_problems(problems: Sequence[ConicProblem],
         sub_problems = [problems[i] for i in pending]
         sub_starts = [warm_starts[i] for i in pending]
         solved = _solve_batch_uncached(sub_problems, backend, sub_starts, settings)
-        _SOLVE_COUNTERS["solved"] += len(solved)
+        for problem in sub_problems:
+            _count_solve_event("solved", problem)
         for i, result in zip(pending, solved):
             results[i] = result
             if cache is not None and keys[i] is not None:

@@ -139,7 +139,8 @@ class ParametricSOSProgram:
         program_a, payload, problem_a = self._build_at(theta_a)
         _, _, problem_b = self._build_at(theta_b)
 
-        if problem_a.dims != problem_b.dims or problem_a.A.shape != problem_b.A.shape:
+        if problem_a.dims != problem_b.dims or problem_a.A.shape != problem_b.A.shape \
+                or problem_a.layout != problem_b.layout:
             raise ParametricProgramError(
                 f"family {self.name!r} is not structurally stable across theta: "
                 f"{problem_a.describe()} vs {problem_b.describe()}"
@@ -162,6 +163,7 @@ class ParametricSOSProgram:
         self._b0, self._b1 = b0, b1
         self._c = problem_a.c
         self._dims = problem_a.dims
+        self._layout = problem_a.layout
         self._program = program_a
         self._payload = payload
         self._compiled = True
@@ -191,7 +193,7 @@ class ParametricSOSProgram:
         A = sp.csr_matrix((data, self._indices, self._indptr), shape=self._shape)
         self.num_binds += 1
         return ConicProblem(c=self._c, A=A, b=self._b0 + theta * self._b1,
-                            dims=self._dims)
+                            dims=self._dims, layout=self._layout)
 
     def bind_many(self, thetas: Sequence[float]) -> List[ConicProblem]:
         """Assemble one problem per value — feed these to ``solve_conic_problems``."""

@@ -36,12 +36,12 @@ from ..polynomial import (
 )
 from ..sdp import (
     ConicProblemBuilder,
+    GramBlockHandle,
     SolverResult,
     SolverStatus,
-    smat,
+    normalize_gram_cone,
     solve_conic_problem,
 )
-from ..sdp.cones import SQRT2
 
 PolyExpr = Union[ParametricPolynomial, Polynomial]
 ScalarExpr = Union[LinExpr, DecisionVariable, float, int]
@@ -82,8 +82,9 @@ class _SOSRowPlan:
     monomials: Tuple[Monomial, ...]
     row_of: Mapping[Monomial, int]
     pair_rows: np.ndarray      # row index of each upper-triangle Gram pair
-    pair_locals: np.ndarray    # svec-local column of each pair
-    pair_values: np.ndarray    # symmetric weight x svec scaling of each pair
+    pair_i: np.ndarray         # Gram row of each pair (i <= j)
+    pair_j: np.ndarray         # Gram column of each pair
+    pair_weight: np.ndarray    # symmetric-expansion multiplicity (1 diag, 2 off)
     is_product_row: np.ndarray  # rows reachable by the Gram expansion
 
     @property
@@ -95,38 +96,43 @@ class _SOSRowPlan:
 def _sos_row_plan(basis: Tuple[Monomial, ...],
                   support: Tuple[Monomial, ...]) -> _SOSRowPlan:
     table = gram_product_table(basis)
-    order = len(basis)
     extra = [m for m in support if m not in table.product_index]
     monomials = sorted(set(table.products) | set(extra), key=Monomial.sort_key)
     row_of = {m: r for r, m in enumerate(monomials)}
     product_rows = np.array([row_of[m] for m in table.products], dtype=np.int64)
     pair_rows = product_rows[table.pair_product]
-    # svec layout: row i of the upper triangle starts after sum_{s<i}(order-s)
-    # entries, and the svec coordinate stores sqrt(2) * M_ij off the diagonal.
-    i, j = table.pair_i, table.pair_j
-    pair_locals = i * order - (i * (i - 1)) // 2 + (j - i)
-    pair_values = np.where(i == j, 1.0, table.pair_weight / SQRT2)
+    # The plan stays Gram-cone agnostic: it records which upper-triangle
+    # entry (i, j) lands in which row with which symmetric multiplicity; the
+    # per-cone lowering (svec locals for PSD, 2x2 pair blocks for SDD, LP
+    # split variables for DD) happens in the GramBlockHandle at compile time.
     is_product_row = np.zeros(len(monomials), dtype=bool)
     is_product_row[product_rows] = True
-    for arr in (pair_rows, pair_locals, pair_values, is_product_row):
-        arr.setflags(write=False)
+    pair_rows.setflags(write=False)
+    is_product_row.setflags(write=False)
     return _SOSRowPlan(
         monomials=tuple(monomials),
         row_of=row_of,
         pair_rows=pair_rows,
-        pair_locals=pair_locals,
-        pair_values=pair_values,
+        pair_i=table.pair_i,
+        pair_j=table.pair_j,
+        pair_weight=table.pair_weight,
         is_product_row=is_product_row,
     )
 
 
 @dataclass
 class SOSConstraint:
-    """An SOS membership constraint ``expr ∈ Σ[x]`` recorded in a program."""
+    """An SOS membership constraint ``expr ∈ Σ[x]`` recorded in a program.
+
+    ``cone`` selects the Gram-cone relaxation of this constraint's Gram
+    matrix (``"psd"`` = full SOS, ``"sdd"`` = SDSOS, ``"dd"`` = DSOS);
+    ``None`` inherits the program's default cone at compile time.
+    """
 
     name: str
     expression: ParametricPolynomial
     basis: Tuple[Monomial, ...]
+    cone: Optional[str] = None
 
     @property
     def gram_order(self) -> int:
@@ -152,7 +158,17 @@ class ScalarConstraint:
 
 @dataclass
 class SOSCertificate:
-    """Post-solve data attached to one SOS constraint."""
+    """Post-solve data attached to one SOS constraint.
+
+    ``gram`` is always the *full* Gram matrix — for DD/SDD relaxations it is
+    reconstructed from the lifted block variables, so the eigenvalue test of
+    :meth:`is_numerically_sos` applies uniformly to every cone.
+    ``structure_margin`` additionally reports the relaxation's own margin
+    (summed negative part of the 2x2 pair-block eigenvalues for SDD,
+    Gershgorin dominance margin for DD, the plain minimum eigenvalue for
+    PSD); it lower-bounds ``min_eigenvalue``, so a nonnegative value
+    certifies the block decomposition itself.
+    """
 
     name: str
     polynomial: Polynomial
@@ -160,6 +176,8 @@ class SOSCertificate:
     basis: Tuple[Monomial, ...]
     min_eigenvalue: float
     reconstruction_error: float
+    cone: str = "psd"
+    structure_margin: Optional[float] = None
 
     def is_numerically_sos(self, eig_tol: float = -1e-7, res_tol: float = 1e-5) -> bool:
         return self.min_eigenvalue >= eig_tol and self.reconstruction_error <= res_tol
@@ -202,10 +220,18 @@ class SOSSolution:
 
 
 class SOSProgram:
-    """A container for SOS constraints compiled to a conic SDP."""
+    """A container for SOS constraints compiled to a conic SDP.
 
-    def __init__(self, name: str = "sos_program"):
+    ``default_cone`` selects the Gram-cone relaxation applied to every SOS
+    constraint that does not carry its own ``cone=``: ``"psd"`` (full SOS,
+    the default), ``"sdd"`` (SDSOS — sums of 2x2 PSD blocks) or ``"dd"``
+    (DSOS — a pure LP lowering).  Relaxation aliases (``"sos"``,
+    ``"sdsos"``, ``"dsos"``) are accepted.
+    """
+
+    def __init__(self, name: str = "sos_program", default_cone: str = "psd"):
         self.name = name
+        self._default_cone = normalize_gram_cone(default_cone)
         self._decision_variables: Dict[int, DecisionVariable] = {}
         self._sos_constraints: List[SOSConstraint] = []
         self._equality_constraints: List[EqualityConstraint] = []
@@ -215,10 +241,20 @@ class SOSProgram:
         self._counter = 0
         self._compiled: Optional[Tuple[ConicProblemBuilder,
                                        Dict[DecisionVariable, Tuple[int, int]],
-                                       List[Tuple[SOSConstraint, int]]]] = None
+                                       List[Tuple[SOSConstraint, GramBlockHandle]]]] = None
 
     def _invalidate(self) -> None:
         self._compiled = None
+
+    @property
+    def default_cone(self) -> str:
+        """Gram cone used for constraints without an explicit ``cone=``."""
+        return self._default_cone
+
+    @default_cone.setter
+    def default_cone(self, cone: str) -> None:
+        self._default_cone = normalize_gram_cone(cone)
+        self._invalidate()
 
     # ------------------------------------------------------------------
     # Variable creation
@@ -261,6 +297,7 @@ class SOSProgram:
         degree: int,
         name: Optional[str] = None,
         min_degree: int = 0,
+        cone: Optional[str] = None,
     ) -> ParametricPolynomial:
         """A polynomial template constrained to be SOS.
 
@@ -272,7 +309,7 @@ class SOSProgram:
         name = name or self._fresh_name("sigma")
         poly = self.new_polynomial_variable(variables, degree, name=name,
                                             min_degree=min_degree)
-        self.add_sos_constraint(poly, name=f"{name}_sos")
+        self.add_sos_constraint(poly, name=f"{name}_sos", cone=cone)
         return poly
 
     # ------------------------------------------------------------------
@@ -283,10 +320,19 @@ class SOSProgram:
             self._decision_variables.setdefault(dvar.uid, dvar)
 
     def add_sos_constraint(self, expression: PolyExpr,
-                           name: Optional[str] = None) -> SOSConstraint:
-        """Require ``expression`` to be a sum of squares."""
+                           name: Optional[str] = None,
+                           cone: Optional[str] = None) -> SOSConstraint:
+        """Require ``expression`` to be a sum of squares.
+
+        ``cone`` optionally restricts this constraint's Gram matrix to a
+        cheaper cone (``"sdd"``/``"dd"``, certifying SDSOS/DSOS membership —
+        a *stronger* claim, since DSOS ⊂ SDSOS ⊂ SOS); ``None`` uses the
+        program's :attr:`default_cone`.
+        """
         expr = ParametricPolynomial.coerce(expression)
         name = name or self._fresh_name("sos")
+        if cone is not None:
+            cone = normalize_gram_cone(cone)
         degree = expr.degree
         # Odd-degree expressions are allowed: the Gram basis is rounded up and the
         # coefficient-matching equalities force the top odd-degree coefficients into
@@ -298,7 +344,8 @@ class SOSProgram:
                 "an odd-degree polynomial can never be a sum of squares"
             )
         basis = gram_basis_for_degree(len(expr.variables), degree)
-        constraint = SOSConstraint(name=name, expression=expr, basis=basis)
+        constraint = SOSConstraint(name=name, expression=expr, basis=basis,
+                                   cone=cone)
         self._register_expression_variables(expr)
         self._sos_constraints.append(constraint)
         self._invalidate()
@@ -353,15 +400,15 @@ class SOSProgram:
         return [self._decision_variables[uid] for uid in sorted(self._decision_variables)]
 
     def compile(self) -> Tuple[ConicProblemBuilder, Dict[DecisionVariable, Tuple[int, int]],
-                               List[Tuple[SOSConstraint, int]]]:
+                               List[Tuple[SOSConstraint, GramBlockHandle]]]:
         """Build the conic problem.
 
         Returns the builder, a map from decision variable to (block id, local
-        index), and the list of (SOS constraint, PSD block id) pairs.  The
-        result is memoised: recompiling an unmodified program is free, and the
-        per-(basis, support) Gram row plans are cached process-wide so that
-        structurally identical programs (parameter sweeps, bisection loops)
-        only refill numeric coefficients.
+        index), and the list of (SOS constraint, Gram block handle) pairs.
+        The result is memoised: recompiling an unmodified program is free,
+        and the per-(basis, support) Gram row plans are cached process-wide
+        so that structurally identical programs (parameter sweeps, bisection
+        loops) only refill numeric coefficients.
         """
         if self._compiled is not None:
             _COMPILE_COUNTERS["memoised"] += 1
@@ -376,16 +423,24 @@ class SOSProgram:
             for local, dvar in enumerate(decision_order):
                 var_location[dvar] = (free_id, local)
 
-        sos_blocks: List[Tuple[SOSConstraint, int]] = []
+        sos_blocks: List[Tuple[SOSConstraint, GramBlockHandle]] = []
         for constraint in self._sos_constraints:
-            block_id, _ = builder.add_psd_block(constraint.gram_order, name=constraint.name)
-            sos_blocks.append((constraint, block_id))
+            handle = builder.add_gram_block(
+                constraint.gram_order,
+                cone=constraint.cone or self._default_cone,
+                name=constraint.name)
+            sos_blocks.append((constraint, handle))
+        # The cone layout enters the problem fingerprint, so distinct
+        # relaxations of the same program never share a cache entry.
+        builder.set_layout(",".join(f"{handle.cone}:{handle.order}"
+                                    for _, handle in sos_blocks))
 
         # Coefficient matching for SOS constraints:
         #   sum_{(i,j): z_i z_j = m} Q_ij  ==  c_m(d)      for every monomial m.
-        # The Gram side comes from the cached COO row plan; only the numeric
-        # right-hand sides and decision-variable coefficients are filled here.
-        for constraint, block_id in sos_blocks:
+        # The Gram side comes from the cached COO row plan lowered through
+        # the constraint's Gram-cone handle; only the numeric right-hand
+        # sides and decision-variable coefficients are filled here.
+        for constraint, handle in sos_blocks:
             expr = constraint.expression
             support = tuple(sorted(expr.coefficients, key=Monomial.sort_key))
             plan = _sos_row_plan(constraint.basis, support)
@@ -426,7 +481,8 @@ class SOSProgram:
                 row_map = np.cumsum(keep) - 1
                 batch_rhs = rhs[keep]
                 pair_rows = row_map[plan.pair_rows]
-            triplets = [(block_id, pair_rows, plan.pair_locals, plan.pair_values)]
+            triplets = handle.entry_triplets(pair_rows, plan.pair_i,
+                                             plan.pair_j, plan.pair_weight)
             if free_rows:
                 mapped = np.asarray(free_rows, dtype=np.int64)
                 if row_map is not None:
@@ -528,8 +584,8 @@ class SOSProgram:
             for dvar, (block_id, local) in var_location.items():
                 assignment[dvar] = float(builder.block_value(block_id, result.x)[local])
             if with_certificates:
-                for constraint, block_id in sos_blocks:
-                    gram = builder.psd_block_matrix(block_id, result.x)
+                for constraint, handle in sos_blocks:
+                    gram = handle.matrix(builder, result.x)
                     poly = constraint.expression.instantiate(assignment) \
                         if assignment or constraint.expression.is_numeric() \
                         else constraint.expression.to_polynomial()
@@ -544,6 +600,8 @@ class SOSProgram:
                         basis=constraint.basis,
                         min_eigenvalue=float(eigenvalues.min()),
                         reconstruction_error=(poly - reconstructed).max_abs_coefficient(),
+                        cone=handle.cone,
+                        structure_margin=handle.structure_margin(builder, result.x),
                     )
             if self._objective is not None and assignment:
                 objective = self._objective.evaluate(assignment)
@@ -577,7 +635,8 @@ class SOSProgram:
         gram_orders = [c.gram_order for c in self._sos_constraints]
         return (
             f"SOSProgram({self.name!r}: {self.num_decision_variables} scalars, "
-            f"{self.num_sos_constraints} SOS constraints (Gram orders {gram_orders}), "
+            f"{self.num_sos_constraints} SOS constraints "
+            f"(Gram orders {gram_orders}, cone {self._default_cone}), "
             f"{self.num_equality_constraints} polynomial equalities, "
             f"{len(self._scalar_constraints)} scalar constraints)"
         )

@@ -158,7 +158,7 @@ class TestReportSatellite:
         report.add_timing("Zeta Custom", 1.0)
         report.add_timing("Alpha Custom", 2.0)
         report.add_timing(STEP_ATTRACTIVE_INVARIANT, 3.0)
-        steps = [step for step, _, _ in report.table2_rows()]
+        steps = [step for step, _, _, _ in report.table2_rows()]
         # Canonical first, then extras alphabetically — insertion order must
         # not leak through.
         assert steps == [STEP_ATTRACTIVE_INVARIANT, "Alpha Custom", "Zeta Custom"]

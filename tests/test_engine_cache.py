@@ -162,7 +162,10 @@ class TestSolveCacheIntegration:
         try:
             reset_solve_counters()
             tiny_program.solve()
-            assert solve_counters() == {"solved": 1, "cache_hit": 0}
+            counters = solve_counters()
+            assert counters["solved"] == 1 and counters["cache_hit"] == 0
+            # Solve counters are additionally keyed by cone-layout kind.
+            assert counters["solved:psd"] == 1
 
             # A structurally identical program is served from the cache.
             variables = VariableVector(make_variables("x", "y"))
@@ -172,7 +175,9 @@ class TestSolveCacheIntegration:
             clone.add_sos_constraint(x * x + 2.0 * y * y + 1.0, name="c")
             solution = clone.solve()
             assert solution.is_success
-            assert solve_counters() == {"solved": 1, "cache_hit": 1}
+            counters = solve_counters()
+            assert counters["solved"] == 1 and counters["cache_hit"] == 1
+            assert counters["cache_hit:psd"] == 1
 
             # Bypassing the cache solves again.
             set_solve_cache(None)
@@ -201,7 +206,8 @@ class TestSolveCacheIntegration:
             clone = SOSProgram("clone")
             clone.add_sos_constraint(x * x + 2.0 * y * y + 1.0, name="c")
             clone.solve()
-            assert solve_counters() == {"solved": 1, "cache_hit": 1}
+            counters = solve_counters()
+            assert counters["solved"] == 1 and counters["cache_hit"] == 1
         finally:
             set_solve_cache(previous)
             reset_solve_counters()

@@ -74,7 +74,7 @@ class TestPipelineOnSmallPLL:
         assert report.total_time > 0
 
     def test_timing_rows_cover_executed_steps(self, report):
-        rows = dict((step, seconds) for step, seconds, _ in report.table2_rows())
+        rows = dict((step, seconds) for step, seconds, _, _ in report.table2_rows())
         assert "Attractive Invariant" in rows
         assert rows["Attractive Invariant"] > 0
 

@@ -1,0 +1,215 @@
+"""Relaxation threading through the pipeline layers: stage options, the
+escalation ladder, engine jobs/reports, the certificate cache and the CLI.
+
+The expensive pll3 end-to-end ``auto`` acceptance run lives in
+``test_relaxations_pll3.py``; everything here sticks to cheap workloads
+(vanderpol, hand-built quadratics) so the module stays fast.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.core import (
+    InevitabilityOptions,
+    LevelSetMaximizer,
+    LevelSetOptions,
+    MultipleLyapunovSynthesizer,
+)
+from repro.engine import EngineOptions, VerificationEngine
+from repro.polynomial import Polynomial, VariableVector, make_variables
+from repro.scenarios import build_problem
+from repro.sos import SemialgebraicSet
+
+
+def _variables(*names):
+    return VariableVector(make_variables(*names))
+
+
+class TestOptionsPropagation:
+    def test_apply_relaxation_reaches_stages(self):
+        options = InevitabilityOptions()
+        assert options.lyapunov.relaxation == "sos"
+        options.apply_relaxation("sdsos")
+        assert options.relaxation == "sdsos"
+        assert options.lyapunov.relaxation == "sdsos"
+        assert options.levelset.relaxation == "sdsos"
+        assert options.advection.relaxation == "sdsos"
+        assert options.escape.relaxation == "sdsos"
+
+    def test_constructor_relaxation_propagates(self):
+        options = InevitabilityOptions(relaxation="auto")
+        assert options.lyapunov.relaxation == "auto"
+        assert options.levelset.relaxation == "auto"
+        assert options.advection.relaxation == "auto"
+        assert options.escape.relaxation == "auto"
+
+    def test_unknown_relaxation_rejected(self):
+        with pytest.raises(ValueError):
+            InevitabilityOptions().apply_relaxation("soc")
+
+
+class TestLevelSetRelaxation:
+    def _setup(self):
+        variables = _variables("x", "y")
+        x = Polynomial.from_variable(variables[0], variables)
+        y = Polynomial.from_variable(variables[1], variables)
+        certificate = x * x + y * y
+        domain = SemialgebraicSet(variables).with_box([(-1.0, 1.0), (-1.0, 1.0)])
+        return certificate, domain
+
+    @pytest.mark.parametrize("relaxation", ["dsos", "sdsos", "sos"])
+    def test_each_rung_certifies_the_disc(self, relaxation):
+        certificate, domain = self._setup()
+        maximizer = LevelSetMaximizer(LevelSetOptions(
+            bisection_tolerance=0.05, max_bisection_iterations=10,
+            initial_upper_bound=0.5, relaxation=relaxation,
+            solver_settings=dict(max_iterations=4000)))
+        result = maximizer.maximize("m", certificate, domain,
+                                    bounds=[(-1, 1), (-1, 1)])
+        assert result.relaxation == relaxation
+        assert 0.0 < result.level <= 1.0 + 1e-6
+
+    def test_auto_prefers_the_cheapest_sufficient_rung(self):
+        certificate, domain = self._setup()
+        maximizer = LevelSetMaximizer(LevelSetOptions(
+            bisection_tolerance=0.05, max_bisection_iterations=10,
+            initial_upper_bound=0.5, relaxation="auto",
+            solver_settings=dict(max_iterations=4000)))
+        result = maximizer.maximize("m", certificate, domain,
+                                    bounds=[(-1, 1), (-1, 1)])
+        # The disc-in-box query is DSOS-certifiable, so auto never escalates.
+        assert result.relaxation == "dsos"
+        assert result.level > 0.0
+
+    def test_serial_strategy_also_threads_the_cone(self):
+        certificate, domain = self._setup()
+        maximizer = LevelSetMaximizer(LevelSetOptions(
+            bisection_tolerance=0.05, max_bisection_iterations=8,
+            initial_upper_bound=0.5, strategy="serial", relaxation="sdsos",
+            solver_settings=dict(max_iterations=4000)))
+        result = maximizer.maximize("m", certificate, domain,
+                                    bounds=[(-1, 1), (-1, 1)])
+        assert result.relaxation == "sdsos"
+        assert result.level > 0.0
+
+
+class TestLyapunovRelaxation:
+    @pytest.mark.parametrize("relaxation", ["dsos", "sdsos", "auto"])
+    def test_vanderpol_certificates_under_cheap_cones(self, relaxation):
+        problem = build_problem("vanderpol")
+        problem.options.lyapunov.domain_boxes = problem.state_bounds()
+        problem.options.apply_relaxation(relaxation)
+        synthesizer = MultipleLyapunovSynthesizer(
+            problem.system, options=problem.options.lyapunov)
+        result = synthesizer.synthesize()
+        assert result.feasible
+        expected = "dsos" if relaxation == "auto" else relaxation
+        assert result.relaxation == expected
+        certs = result.solution.certificates
+        assert certs
+        for cert in certs.values():
+            assert cert.cone == ("dd" if expected == "dsos" else "sdd")
+            assert cert.structure_margin is not None
+
+
+@pytest.fixture(scope="module")
+def relax_cache(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("relax_cache"))
+
+
+@pytest.fixture(scope="module")
+def vanderpol_sdsos_cold(relax_cache):
+    engine = VerificationEngine(EngineOptions(jobs=1, cache_dir=relax_cache,
+                                              relaxation="sdsos"))
+    return engine.run(["vanderpol"])
+
+
+class TestEngineRelaxation:
+    def test_cold_run_records_relaxation_per_job(self, vanderpol_sdsos_cold):
+        outcome = vanderpol_sdsos_cold.outcome("vanderpol")
+        assert outcome.matches_expected
+        by_step = {job.step: job for job in outcome.jobs}
+        assert by_step["lyapunov"].relaxation == "sdsos"
+        assert by_step["levelset"].relaxation == "sdsos"
+        payload = vanderpol_sdsos_cold.to_json_dict()
+        assert payload["engine"]["relaxation"] == "sdsos"
+        job_rows = payload["scenarios"][0]["jobs"]
+        assert any(row["relaxation"] == "sdsos" for row in job_rows)
+        timing_rows = payload["scenarios"][0]["report"]["timings"]
+        assert any(row.get("relaxation") == "sdsos" for row in timing_rows)
+        # The keyed counters expose which cone actually solved.
+        assert vanderpol_sdsos_cold.counters.get("solved:sdd", 0) > 0
+        assert vanderpol_sdsos_cold.counters.get("solved:psd", 0) == 0
+
+    def test_warm_cache_zero_solves_same_relaxation(self, relax_cache,
+                                                    vanderpol_sdsos_cold):
+        warm = VerificationEngine(EngineOptions(
+            jobs=1, cache_dir=relax_cache, relaxation="sdsos")).run(["vanderpol"])
+        assert warm.counters["solved"] == 0
+        assert warm.counters["cache_hit"] > 0
+        assert warm.outcome("vanderpol").statuses == \
+            vanderpol_sdsos_cold.outcome("vanderpol").statuses
+
+    def test_distinct_relaxations_never_share_cache_entries(self, relax_cache,
+                                                            vanderpol_sdsos_cold):
+        """A warm sdsos cache must not serve the sos (or dsos) pipeline."""
+        sos_run = VerificationEngine(EngineOptions(
+            jobs=1, cache_dir=relax_cache, relaxation="sos")).run(["vanderpol"])
+        assert sos_run.counters["solved"] > 0
+        assert sos_run.counters.get("solved:psd", 0) > 0
+        assert sos_run.counters.get("cache_hit:sdd", 0) == 0
+
+
+class TestScenarioSpecRelaxation:
+    def test_registered_default_is_sos(self):
+        from repro.scenarios import get_scenario
+        spec = get_scenario("vanderpol")
+        assert spec.relaxation == "sos"
+        assert spec.summary_row()["relaxation"] == "sos"
+
+    def test_register_scenario_validates_relaxation(self):
+        from repro.scenarios.registry import register_scenario
+
+        with pytest.raises(ValueError):
+            register_scenario(name="bad_relax_scenario", description="x",
+                              relaxation="qp")(lambda spec: None)
+
+    def test_spec_relaxation_propagates_into_problem(self):
+        from repro.scenarios import get_scenario
+        import dataclasses
+
+        spec = dataclasses.replace(get_scenario("vanderpol"),
+                                   relaxation="dsos")
+        problem = spec.build()
+        assert problem.options.relaxation == "dsos"
+        assert problem.options.lyapunov.relaxation == "dsos"
+
+
+class TestCLIRelaxation:
+    def test_list_json_includes_relaxation(self, capsys):
+        assert cli_main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all("relaxation" in row for row in payload["scenarios"])
+
+    def test_verify_relaxation_flag(self, tmp_path, capsys):
+        json_path = tmp_path / "report.json"
+        code = cli_main([
+            "verify", "vanderpol", "--relaxation", "dsos",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(json_path),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["engine"]["relaxation"] == "dsos"
+        jobs = payload["scenarios"][0]["jobs"]
+        assert any(job["relaxation"] == "dsos" for job in jobs)
+
+    def test_verify_rejects_unknown_relaxation(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["verify", "vanderpol", "--relaxation", "qp",
+                      "--cache-dir", str(tmp_path / "cache")])

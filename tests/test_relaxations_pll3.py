@@ -1,0 +1,66 @@
+"""Acceptance: ``relaxation="auto"`` on the 3rd-order PLL produces a
+validated attractive invariant end to end, with at least one pipeline step
+certified by a non-PSD Gram cone, and a warm-cache re-verification that
+performs zero SDP solves.
+
+One cold engine run is shared module-wide (it is the expensive part: the
+auto ladder tries DSOS, escalates the Lyapunov search to SDSOS, and settles
+the per-mode level sets on DSOS certificates over the SDSOS Lyapunov
+functions).
+"""
+
+import pytest
+
+from repro.core import VerificationStatus
+from repro.engine import EngineOptions, VerificationEngine
+
+NON_PSD = ("dsos", "sdsos")
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("pll3_auto_cache"))
+
+
+@pytest.fixture(scope="module")
+def auto_cold(cache_dir):
+    engine = VerificationEngine(EngineOptions(jobs=1, cache_dir=cache_dir,
+                                              relaxation="auto"))
+    return engine.run(["pll3"])
+
+
+class TestPll3AutoAcceptance:
+    def test_validated_invariant_end_to_end(self, auto_cold):
+        outcome = auto_cold.outcome("pll3")
+        assert outcome.matches_expected
+        assert outcome.report.property_one.status is VerificationStatus.VERIFIED
+        invariant = outcome.report.property_one.invariant
+        assert invariant is not None
+        levels = {name: level for name, level, _ in invariant.summary_rows()}
+        assert set(levels) == {"mode1", "mode2", "mode3"}
+        assert all(level > 0 for level in levels.values())
+
+    def test_at_least_one_step_certified_by_non_psd_cone(self, auto_cold):
+        outcome = auto_cold.outcome("pll3")
+        relaxations = {job.step: job.relaxation for job in outcome.jobs
+                       if job.relaxation is not None}
+        assert any(value in NON_PSD for value in relaxations.values()), \
+            f"no non-PSD certificate in {relaxations}"
+        # The keyed solve counters confirm cheap cones actually solved.
+        assert any(auto_cold.counters.get(f"solved:{kind}", 0) > 0
+                   for kind in ("dd", "sdd"))
+        # ...and the report's relaxation column records the rungs used.
+        timing_relaxations = {relaxation
+                              for _, _, _, relaxation
+                              in outcome.report.table2_rows() if relaxation}
+        assert timing_relaxations & set(NON_PSD)
+
+    def test_warm_cache_performs_zero_sdp_solves(self, auto_cold, cache_dir):
+        warm = VerificationEngine(EngineOptions(
+            jobs=1, cache_dir=cache_dir, relaxation="auto")).run(["pll3"])
+        assert warm.counters["solved"] == 0
+        assert warm.counters["cache_hit"] > 0
+        assert warm.outcome("pll3").statuses == auto_cold.outcome("pll3").statuses
+        # The replayed ladder lands on the same relaxations.
+        assert {job.job_id: job.relaxation for job in warm.outcome("pll3").jobs} \
+            == {job.job_id: job.relaxation for job in auto_cold.outcome("pll3").jobs}
