@@ -15,7 +15,6 @@ import platform
 import sys
 import time
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -26,11 +25,9 @@ from repro.core import (
     InevitabilityVerifier,
     LevelSetOptions,
     LyapunovSynthesisOptions,
-    MultipleLyapunovSynthesizer,
     LevelSetMaximizer,
 )
 from repro.pll import (
-    PLLParameters,
     RegionOfInterest,
     build_fourth_order_model,
     build_third_order_model,

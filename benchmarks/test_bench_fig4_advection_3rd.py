@@ -7,7 +7,6 @@ the per-iteration extent of the advected level set on the (v1, v2) and
 attractive invariant (Algorithm 1's stopping test).
 """
 
-import pytest
 
 from repro.analysis import project_sublevel_set
 from repro.core import AdvectionOptions, run_bounded_advection

@@ -8,7 +8,6 @@ both pumping modes, report per-iteration extents, and (when advection stays
 inconclusive) search an escape certificate for the leftover region.
 """
 
-import pytest
 
 from repro.analysis import project_sublevel_set
 from repro.core import (

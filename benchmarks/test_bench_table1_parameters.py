@@ -6,7 +6,6 @@ those parameters (the cheapest stage of the tool chain, reported for
 completeness of the harness).
 """
 
-import pytest
 
 from repro.pll import PLLParameters, build_fourth_order_model, build_third_order_model
 

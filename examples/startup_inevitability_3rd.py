@@ -12,7 +12,6 @@ Run with:  python examples/startup_inevitability_3rd.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import check_invariant_convergence, random_initial_states
 from repro.core import (

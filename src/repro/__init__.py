@@ -29,16 +29,32 @@ Subpackages
     Parallel verification engine: per-scenario job DAGs over a process pool
     with a persistent content-addressed certificate cache
     (``python -m repro``).
+``repro.api``
+    The stable public facade: ``VerificationSession`` context objects owning
+    solver backend, certificate cache, counters, seed and relaxation, plus
+    ``repro.api.verify(scenario, session=...)``.  Sessions are isolated and
+    thread-safe — the supported entry point for embedding the verifier.
 """
 
 from .exceptions import CertificateError, ModelError, ReproError, VerificationInconclusive
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "ReproError",
     "ModelError",
     "CertificateError",
     "VerificationInconclusive",
     "__version__",
 ]
+
+
+def __getattr__(name):
+    # ``repro.api`` pulls in the scenario registry and engine cache; load it
+    # lazily so ``import repro`` stays light for users of the lower layers.
+    if name == "api":
+        import importlib
+
+        return importlib.import_module(".api", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

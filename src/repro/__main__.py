@@ -86,12 +86,14 @@ def cmd_verify(args: argparse.Namespace) -> int:
         job_timeout=args.timeout,
         seed=args.seed,
         relaxation=args.relaxation,
+        backend=args.backend,
     )
     engine = VerificationEngine(options)
     relax_note = f", relaxation={options.relaxation}" if options.relaxation else ""
+    backend_note = f", backend={options.backend}" if options.backend else ""
     print(f"verifying {', '.join(scenarios)} "
           f"(jobs={options.jobs}, cache={'on' if options.use_cache else 'off'}"
-          f"{relax_note})")
+          f"{relax_note}{backend_note})")
     report = engine.run(scenarios)
 
     for outcome in report.outcomes:
@@ -171,6 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-job timeout in seconds (pool runs)")
     p_verify.add_argument("--seed", type=int, default=0,
                           help="random seed for the falsification cross-check")
+    p_verify.add_argument("--backend", default=None,
+                          choices=["admm", "projection"],
+                          help="conic solver backend for every job's solve "
+                               "context: admm (operator splitting, the "
+                               "default) or projection (alternating "
+                               "projections); recorded in the JSON report "
+                               "and part of the certificate-cache key")
     p_verify.add_argument("--relaxation", default=None,
                           choices=["dsos", "sdsos", "sos", "auto"],
                           help="Gram-cone relaxation of every certificate: "

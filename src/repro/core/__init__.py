@@ -1,5 +1,6 @@
 """The paper's contribution: SOS-based inevitability verification for CP PLLs."""
 
+from .config import StageConfig
 from .lyapunov import (
     LyapunovResult,
     LyapunovSynthesisOptions,
@@ -49,6 +50,7 @@ from .report import (
 from .inevitability import InevitabilityOptions, InevitabilityVerifier
 
 __all__ = [
+    "StageConfig",
     "LyapunovSynthesisOptions",
     "LyapunovResult",
     "ModeCertificate",

@@ -25,44 +25,44 @@ is certified (Lemma 1) to be inside the attractive invariant ``X1``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..exceptions import CertificateError
 from ..polynomial import Polynomial, VariableVector
-from ..sdp import cone_for_relaxation, relaxation_ladder
+from ..sdp import SolveContext, cone_for_relaxation, relaxation_ladder
 from ..sos import SemialgebraicSet, SOSProgram
 from ..utils import get_logger
 from .attractive import AttractiveInvariant
+from .config import StageConfig
 from .inclusion import check_sublevel_inclusion
 
 LOGGER = get_logger("core.advection")
 
 
 @dataclass
-class AdvectionOptions:
-    """Options of the bounded-advection stage."""
+class AdvectionOptions(StageConfig):
+    """Options of the bounded-advection stage.
+
+    Inherits the shared stage knobs (``multiplier_degree``,
+    ``solver_backend``, ``solver_settings``, ``relaxation``) from
+    :class:`~repro.core.config.StageConfig`.  The relaxation governs the
+    per-iteration absorption checks (Lemma-1 feasibility certificates); a
+    negative answer from a cheap cone is inconclusive, so ``"auto"`` retries
+    each check up the ladder.  The ``sos_projection`` operator's fitting
+    program deliberately stays on the exact PSD cone: its coverage
+    constraint shapes the next advected set, and a cheaper cone there
+    would make individual steps infeasible rather than merely conservative.
+    """
 
     time_step: float = 0.05
     max_iterations: int = 40
     operator: str = "composition"          # "composition" | "sos_projection"
     projection_degree: Optional[int] = None  # degree of the projected polynomial
-    multiplier_degree: int = 2
     inclusion_multiplier_degree: int = 2
     inclusion_check_every: int = 1
     epsilon_weight: float = 1.0
-    solver_backend: Optional[str] = None
-    solver_settings: Dict[str, object] = field(default_factory=dict)
-    # Gram-cone relaxation of the per-iteration absorption checks (Lemma-1
-    # feasibility certificates): "dsos" | "sdsos" | "sos" | "auto".  A
-    # negative answer from a cheap cone is inconclusive, so "auto" retries
-    # each check up the ladder.  The ``sos_projection`` operator's fitting
-    # program deliberately stays on the exact PSD cone: its coverage
-    # constraint shapes the next advected set, and a cheaper cone there
-    # would make individual steps infeasible rather than merely conservative.
-    relaxation: str = "sos"
 
 
 @dataclass
@@ -98,8 +98,10 @@ class AdvectionResult:
 class LevelSetAdvector:
     """Single-step advection of a polynomial sub-level set."""
 
-    def __init__(self, options: Optional[AdvectionOptions] = None):
+    def __init__(self, options: Optional[AdvectionOptions] = None,
+                 context: Optional[SolveContext] = None):
         self.options = options or AdvectionOptions()
+        self.context = context
 
     # ------------------------------------------------------------------
     def taylor_backward_map(self, variables: VariableVector,
@@ -142,7 +144,7 @@ class LevelSetAdvector:
         if degree % 2 == 1:
             degree += 1
 
-        program = SOSProgram(name="advection_projection")
+        program = SOSProgram(name="advection_projection", context=self.context)
         b = program.new_polynomial_variable(variables, degree, name="b_next")
         epsilon = program.new_variable(name="epsilon")
         program.add_scalar_constraint(epsilon, sense=">=")
@@ -189,7 +191,8 @@ class LevelSetAdvector:
 
 def _check_absorbed(polynomial: Polynomial, invariant: AttractiveInvariant,
                     domain: Optional[SemialgebraicSet],
-                    options: AdvectionOptions) -> Optional[str]:
+                    options: AdvectionOptions,
+                    context: Optional[SolveContext] = None) -> Optional[str]:
     """Return the name of a level set of ``X1`` certified to contain the set.
 
     Walks the relaxation ladder cheapest-first: an inclusion certified by a
@@ -205,6 +208,7 @@ def _check_absorbed(polynomial: Polynomial, invariant: AttractiveInvariant,
                 domain=domain,
                 solver_backend=options.solver_backend,
                 cone=cone,
+                context=context,
                 **options.solver_settings,
             )
             if inclusion.holds:
@@ -219,10 +223,11 @@ def run_bounded_advection(
     invariant: AttractiveInvariant,
     domain: Optional[SemialgebraicSet] = None,
     options: Optional[AdvectionOptions] = None,
+    context: Optional[SolveContext] = None,
 ) -> AdvectionResult:
     """Algorithm 1 (lines 1-12): advect until absorbed in ``X1`` or out of budget."""
     options = options or AdvectionOptions()
-    advector = LevelSetAdvector(options)
+    advector = LevelSetAdvector(options, context=context)
     start = time.perf_counter()
 
     steps: List[AdvectionStep] = []
@@ -231,7 +236,7 @@ def run_bounded_advection(
     absorbing: Optional[str] = None
 
     # The initial set may already be inside the invariant.
-    absorbing = _check_absorbed(current, invariant, domain, options)
+    absorbing = _check_absorbed(current, invariant, domain, options, context)
     if absorbing is not None:
         return AdvectionResult(
             mode_name=mode_name, initial_polynomial=initial_polynomial, steps=[],
@@ -244,7 +249,8 @@ def run_bounded_advection(
         included_in = None
         if iteration % max(options.inclusion_check_every, 1) == 0 \
                 or iteration == options.max_iterations:
-            included_in = _check_absorbed(current, invariant, domain, options)
+            included_in = _check_absorbed(current, invariant, domain, options,
+                                          context)
         steps.append(AdvectionStep(iteration=iteration, polynomial=current,
                                    included_in=included_in, epsilon=epsilon))
         if included_in is not None:

@@ -1,0 +1,49 @@
+"""Shared configuration base of the verification pipeline stages.
+
+Every SOS pipeline stage — Lyapunov synthesis, level-curve maximisation,
+bounded advection, escape-certificate search — historically carried its own
+near-duplicate copy of the same four knobs (S-procedure multiplier degree,
+solver backend, solver settings, Gram-cone relaxation).  :class:`StageConfig`
+is the single definition; the per-stage Options dataclasses inherit from it
+and add only their stage-specific fields.
+
+These are *data* objects: the live solver state (cache, counters, backend
+instances) lives on a :class:`~repro.sdp.context.SolveContext`, which is
+threaded through the stage classes separately.  A stage-level
+``solver_backend`` overrides the context's default backend for that stage's
+solves; per-call arguments override both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class StageConfig:
+    """Knobs shared by every SOS pipeline stage.
+
+    Attributes
+    ----------
+    multiplier_degree:
+        Degree of the S-procedure / Lemma-1 multiplier polynomials.
+    solver_backend:
+        Conic solver backend for this stage's solves (``None`` defers to the
+        governing :class:`~repro.sdp.context.SolveContext`, which itself
+        falls back to the registry default, ``"admm"``).
+    solver_settings:
+        Keyword settings forwarded to the backend's settings dataclass.
+    relaxation:
+        Gram-cone relaxation of the stage's SOS certificates: ``"dsos"``
+        (diagonally-dominant Gram matrices → pure LP cones), ``"sdsos"``
+        (scaled diagonal dominance → sums of 2×2 PSD blocks), ``"sos"``
+        (full PSD Gram, the default) or ``"auto"`` — try the cheapest
+        relaxation first and escalate on failure.  Certificates found in a
+        cheaper cone are valid SOS certificates (DSOS ⊂ SDSOS ⊂ SOS).
+    """
+
+    multiplier_degree: int = 2
+    solver_backend: Optional[str] = None
+    solver_settings: Dict[str, object] = field(default_factory=dict)
+    relaxation: str = "sos"

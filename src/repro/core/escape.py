@@ -10,14 +10,14 @@ sub-region where bounded advection stays inconclusive.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import CertificateError
-from ..polynomial import Polynomial, VariableVector
-from ..sdp import cone_for_relaxation, relaxation_ladder
+from ..polynomial import Polynomial
+from ..sdp import SolveContext, cone_for_relaxation, relaxation_ladder
 from ..sos import (
     SemialgebraicSet,
     SOSProgram,
@@ -25,25 +25,26 @@ from ..sos import (
     validate_nonnegativity,
 )
 from ..utils import get_logger
+from .config import StageConfig
 
 LOGGER = get_logger("core.escape")
 
 
 @dataclass
-class EscapeOptions:
-    """Options of the escape-certificate search."""
+class EscapeOptions(StageConfig):
+    """Options of the escape-certificate search.
+
+    Inherits the shared stage knobs (``multiplier_degree``,
+    ``solver_backend``, ``solver_settings``, ``relaxation``) from
+    :class:`~repro.core.config.StageConfig`; under ``"auto"`` the search
+    tries the cheap cones first and escalates when it is infeasible or the
+    sampling validation fails.
+    """
 
     certificate_degree: int = 2
-    multiplier_degree: int = 2
     decrease_rate: float = 1e-2          # the delta of Proposition 1
-    solver_backend: Optional[str] = None
-    solver_settings: Dict[str, object] = field(default_factory=dict)
     validate_samples: int = 1500
     validation_tolerance: float = 1e-4
-    # Gram-cone relaxation of the certificate search: "dsos" | "sdsos" |
-    # "sos" | "auto" (try cheap, escalate when the search is infeasible or
-    # the sampling validation fails).
-    relaxation: str = "sos"
 
 
 @dataclass
@@ -74,8 +75,10 @@ class EscapeCertificate:
 class EscapeCertificateSynthesizer:
     """Search an escape certificate with an SOS feasibility program."""
 
-    def __init__(self, options: Optional[EscapeOptions] = None):
+    def __init__(self, options: Optional[EscapeOptions] = None,
+                 context: Optional[SolveContext] = None):
         self.options = options or EscapeOptions()
+        self.context = context
 
     def synthesize(self, mode_name: str, vector_field: Sequence[Polynomial],
                    region: SemialgebraicSet,
@@ -119,7 +122,8 @@ class EscapeCertificateSynthesizer:
         variables = region.variables
 
         program = SOSProgram(name=f"escape_{mode_name}",
-                             default_cone=cone_for_relaxation(relaxation))
+                             default_cone=cone_for_relaxation(relaxation),
+                             context=self.context)
         certificate = program.new_polynomial_variable(
             variables, options.certificate_degree, name="E", min_degree=1)
         lie = certificate.lie_derivative(

@@ -14,8 +14,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..polynomial import ParametricPolynomial, Polynomial, VariableVector
-from ..sdp import SolverResult, normalize_gram_cone, solve_conic_problems
+from ..polynomial import ParametricPolynomial, Polynomial
+from ..sdp import SolveContext, SolverResult, normalize_gram_cone, solve_conic_problems
 from ..sos import ParametricSOSProgram, SemialgebraicSet, SOSProgram
 from ..utils import get_logger
 
@@ -50,6 +50,7 @@ def build_inclusion_program(
     multiplier_degree: int = 2,
     domain: Optional[SemialgebraicSet] = None,
     cone: str = "psd",
+    context: Optional[SolveContext] = None,
 ) -> Tuple[SOSProgram, ParametricPolynomial, Polynomial, Polynomial]:
     """Construct the Lemma-1 feasibility program for one inclusion query.
 
@@ -57,13 +58,14 @@ def build_inclusion_program(
     query is feasible iff ``λ·inner − outer`` (minus domain S-procedure
     terms) admits an SOS certificate with ``λ`` SOS.  ``cone`` selects the
     Gram-cone relaxation of every SOS constraint in the program (``"psd"``,
-    ``"sdd"`` or ``"dd"``).
+    ``"sdd"`` or ``"dd"``); ``context`` the governing solve context.
     """
     variables = inner.variables.union(outer.variables)
     inner_v = inner.with_variables(variables)
     outer_v = outer.with_variables(variables)
 
-    program = SOSProgram(name="sublevel_inclusion", default_cone=cone)
+    program = SOSProgram(name="sublevel_inclusion", default_cone=cone,
+                         context=context)
     lam = program.new_sos_polynomial(variables, multiplier_degree, name="lambda")
     expr = lam * inner_v - outer_v
     if domain is not None:
@@ -83,6 +85,7 @@ def check_sublevel_inclusion(
     solver_backend: Optional[str] = None,
     warm_start: Optional[dict] = None,
     cone: str = "psd",
+    context: Optional[SolveContext] = None,
     **solver_settings,
 ) -> InclusionCertificate:
     """Certify ``{inner <= 0} ⊆ {outer <= 0}`` via Lemma 1.
@@ -99,7 +102,7 @@ def check_sublevel_inclusion(
     """
     program, lam, inner_v, outer_v = build_inclusion_program(
         inner, outer, multiplier_degree=multiplier_degree, domain=domain,
-        cone=cone)
+        cone=cone, context=context)
     solution = program.solve(backend=solver_backend, warm_start=warm_start,
                              **solver_settings)
     warm_data = solution.solver_result.info.get("warm_start_data")
@@ -134,22 +137,25 @@ class ParametricInclusionFamily:
                  domain: Optional[SemialgebraicSet] = None,
                  probes: Tuple[float, float] = (0.0, 1.0),
                  check_affinity: bool = True,
-                 cone: str = "psd"):
+                 cone: str = "psd",
+                 context: Optional[SolveContext] = None):
         self.certificate = certificate
         self.outer = outer
         self.cone = normalize_gram_cone(cone)
+        self.context = context
         self.variables = certificate.variables.union(outer.variables)
 
         def build(theta: float):
             program, lam, _, _ = build_inclusion_program(
                 certificate - theta, outer,
                 multiplier_degree=multiplier_degree, domain=domain,
-                cone=cone)
+                cone=cone, context=context)
             return program, lam
 
         self.family = ParametricSOSProgram(build, probes=probes,
                                            check_affinity=check_affinity,
-                                           name="inclusion_family")
+                                           name="inclusion_family",
+                                           context=context)
 
     # ------------------------------------------------------------------
     def compile(self) -> "ParametricInclusionFamily":
@@ -189,7 +195,8 @@ class ParametricInclusionFamily:
         """Solve the queries at ``levels`` as one batch (the fast path)."""
         problems = self.bind_many(levels)
         results = solve_conic_problems(problems, backend=solver_backend,
-                                       warm_starts=warm_starts, **solver_settings)
+                                       warm_starts=warm_starts,
+                                       context=self.context, **solver_settings)
         return [self.interpret(level, result)
                 for level, result in zip(levels, results)]
 

@@ -15,16 +15,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..exceptions import CertificateError
 from ..pll.model import MODE_IDLE, PLLVerificationModel
-from ..sdp import RELAXATIONS, cone_for_relaxation, relaxation_ladder
+from ..sdp import RELAXATIONS, SolveContext, cone_for_relaxation, relaxation_ladder
 from ..sos import SemialgebraicSet
 from ..utils import get_logger
-from .advection import AdvectionOptions, AdvectionResult, run_bounded_advection
+from .advection import AdvectionOptions, run_bounded_advection
 from .attractive import AttractiveInvariant
 from .escape import EscapeCertificateSynthesizer, EscapeOptions, escape_region_from_advection
 from .inclusion import check_sublevel_inclusion
@@ -63,13 +62,15 @@ def advection_mode_names(options: "InevitabilityOptions", system) -> Tuple[str, 
 
 def run_mode_property_two(model, options: "InevitabilityOptions",
                           mode_name: str, invariant: AttractiveInvariant,
+                          context: Optional[SolveContext] = None,
                           ) -> Tuple[ModePropertyTwoResult, Dict[str, float]]:
     """Property-2 evidence for one mode: advection, inclusion re-check, escape.
 
     The single source of the per-mode Property-2 pipeline, shared by
     :class:`InevitabilityVerifier` (which runs it for every pumping mode) and
     the job engine (which runs it as one job per mode).  ``model`` is anything
-    with the verification-model interface.  Returns the mode result plus the
+    with the verification-model interface; ``context`` the solve context all
+    conic work of the mode runs under.  Returns the mode result plus the
     wall-clock of each stage (keys ``"advection"``, ``"inclusion"`` and —
     only when an escape search ran — ``"escape"``).
     """
@@ -81,7 +82,7 @@ def run_mode_property_two(model, options: "InevitabilityOptions",
     start = time.perf_counter()
     advection = run_bounded_advection(
         mode_name, outer, field_polys, invariant, domain=domain,
-        options=options.advection)
+        options=options.advection, context=context)
     timings["advection"] = time.perf_counter() - start
 
     # Dedicated inclusion re-check of the final advected set (Table 2 row),
@@ -102,6 +103,7 @@ def run_mode_property_two(model, options: "InevitabilityOptions",
                     domain=domain,
                     solver_backend=options.advection.solver_backend,
                     cone=cone,
+                    context=context,
                     **options.advection.solver_settings,
                 )
                 if inclusion.holds:
@@ -135,7 +137,7 @@ def run_mode_property_two(model, options: "InevitabilityOptions",
         advection.final_polynomial, own_level.sublevel_polynomial,
         region_box=model.region_box_set(),
     )
-    synthesizer = EscapeCertificateSynthesizer(options.escape)
+    synthesizer = EscapeCertificateSynthesizer(options.escape, context=context)
     start = time.perf_counter()
     try:
         escape = synthesizer.synthesize(
@@ -209,6 +211,11 @@ class InevitabilityOptions:
         if self.relaxation != "sos":
             self.apply_relaxation(self.relaxation)
 
+    def stages(self) -> Tuple[LyapunovSynthesisOptions, LevelSetOptions,
+                              AdvectionOptions, EscapeOptions]:
+        """The four per-stage configs (all :class:`~repro.core.config.StageConfig`)."""
+        return (self.lyapunov, self.levelset, self.advection, self.escape)
+
     def apply_relaxation(self, relaxation: str) -> None:
         """Set the Gram-cone relaxation of every pipeline stage."""
         relaxation = str(relaxation).lower()
@@ -216,19 +223,32 @@ class InevitabilityOptions:
             raise ValueError(
                 f"unknown relaxation {relaxation!r}; expected one of {RELAXATIONS}")
         self.relaxation = relaxation
-        self.lyapunov.relaxation = relaxation
-        self.levelset.relaxation = relaxation
-        self.advection.relaxation = relaxation
-        self.escape.relaxation = relaxation
+        for stage in self.stages():
+            stage.relaxation = relaxation
+
+    def apply_backend(self, backend: Optional[str],
+                      settings: Optional[Dict[str, object]] = None) -> None:
+        """Set the conic solver backend (and optional settings) of every stage.
+
+        Stage-level backends override the solve context's default; use this
+        when one pipeline must mix backends with a shared context (otherwise
+        prefer setting the backend on the context/session itself).
+        """
+        for stage in self.stages():
+            stage.solver_backend = backend
+            if settings:
+                stage.solver_settings = {**stage.solver_settings, **settings}
 
 
 class InevitabilityVerifier:
     """Verify inevitability of phase-locking for a CP PLL verification model."""
 
     def __init__(self, model: PLLVerificationModel,
-                 options: Optional[InevitabilityOptions] = None):
+                 options: Optional[InevitabilityOptions] = None,
+                 context: Optional[SolveContext] = None):
         self.model = model
         self.options = options or InevitabilityOptions()
+        self.context = context
         # The S-procedure domains always include the region-of-interest box.
         if self.options.lyapunov.domain_boxes is None:
             self.options.lyapunov.domain_boxes = self.model.state_bounds()
@@ -238,7 +258,8 @@ class InevitabilityVerifier:
     # ------------------------------------------------------------------
     def verify_property_one(self, report: VerificationReport) -> PropertyOneResult:
         synthesizer = MultipleLyapunovSynthesizer(
-            self.model.system, options=self.options.lyapunov)
+            self.model.system, options=self.options.lyapunov,
+            context=self.context)
         start = time.perf_counter()
         lyapunov = synthesizer.synthesize()
         report.add_timing(
@@ -252,7 +273,8 @@ class InevitabilityVerifier:
                 message=lyapunov.message,
             )
 
-        maximizer = LevelSetMaximizer(self.options.levelset)
+        maximizer = LevelSetMaximizer(self.options.levelset,
+                                      context=self.context)
         certificates = {name: cert.certificate
                         for name, cert in lyapunov.certificates.items()}
         domains = self.levelset_domains(lyapunov)
@@ -303,7 +325,8 @@ class InevitabilityVerifier:
 
         for mode_name in self._advection_mode_names():
             result, timings = run_mode_property_two(
-                self.model, self.options, mode_name, invariant)
+                self.model, self.options, mode_name, invariant,
+                context=self.context)
             iterations = result.advection.iterations_used \
                 if result.advection is not None else 0
             report.add_timing(STEP_ADVECTION, timings["advection"],

@@ -27,9 +27,10 @@ import numpy as np
 
 from ..exceptions import CertificateError
 from ..polynomial import Polynomial
-from ..sdp import cone_for_relaxation, relaxation_ladder
-from ..sos import SemialgebraicSet, SOSProgram
+from ..sdp import SolveContext, cone_for_relaxation, relaxation_ladder
+from ..sos import SemialgebraicSet
 from ..utils import get_logger
+from .config import StageConfig
 from .inclusion import ParametricInclusionFamily, check_sublevel_inclusion
 
 LOGGER = get_logger("core.levelset")
@@ -40,15 +41,18 @@ _MAX_EXPANSIONS = 12
 
 
 @dataclass
-class LevelSetOptions:
-    """Options of the level-curve maximisation."""
+class LevelSetOptions(StageConfig):
+    """Options of the level-curve maximisation.
 
-    multiplier_degree: int = 2
+    Inherits the shared stage knobs (``multiplier_degree``,
+    ``solver_backend``, ``solver_settings``, ``relaxation``) from
+    :class:`~repro.core.config.StageConfig`; a relaxation rung that
+    certifies no positive level escalates to the next cone of the ladder.
+    """
+
     bisection_tolerance: float = 1e-3
     max_bisection_iterations: int = 40
     initial_upper_bound: Optional[float] = None
-    solver_backend: Optional[str] = None
-    solver_settings: Dict[str, object] = field(default_factory=dict)
     #: Warm-start each query from the previous round's iterates at the same
     #: slot (all queries of one maximisation share the same SDP structure).
     warm_start: bool = True
@@ -61,13 +65,6 @@ class LevelSetOptions:
     #: Verify the affine-in-theta decomposition with a third structural
     #: compile when building each parametric family.
     check_affinity: bool = True
-    #: Gram-cone relaxation of the Lemma-1 certificates: ``"dsos"`` (LP
-    #: cones), ``"sdsos"`` (2x2 PSD blocks), ``"sos"`` (full PSD Gram, the
-    #: default) or ``"auto"`` — try the cheapest relaxation first and
-    #: escalate whenever it certifies no positive level.  A level certified
-    #: by a cheaper cone is still a sound SOS certificate (DSOS ⊂ SDSOS ⊂
-    #: SOS), merely possibly smaller than the full-SOS optimum.
-    relaxation: str = "sos"
 
 
 @dataclass
@@ -96,8 +93,10 @@ class MaximizedLevelSet:
 class LevelSetMaximizer:
     """Maximise ``c`` with ``{V <= c} ⊆ D`` over Lemma-1 queries."""
 
-    def __init__(self, options: Optional[LevelSetOptions] = None):
+    def __init__(self, options: Optional[LevelSetOptions] = None,
+                 context: Optional[SolveContext] = None):
         self.options = options or LevelSetOptions()
+        self.context = context
         # Per-inequality warm-start data carried across bisection levels
         # (reset at the start of each maximisation).  The batched path keys
         # by (family index -> {level: data}); the serial path by family index.
@@ -116,6 +115,7 @@ class LevelSetMaximizer:
                 solver_backend=self.options.solver_backend,
                 warm_start=self._warm_starts.get(k) if self.options.warm_start else None,
                 cone=cone,
+                context=self.context,
                 **self.options.solver_settings,
             )
             if self.options.warm_start and inclusion.warm_start_data is not None:
@@ -216,7 +216,7 @@ class LevelSetMaximizer:
                       if options.warm_start else None for i in alive]
             results = solve_conic_problems(
                 problems, backend=options.solver_backend, warm_starts=starts,
-                **options.solver_settings)
+                context=self.context, **options.solver_settings)
             for position, i in enumerate(alive):
                 result = results[position]
                 if options.warm_start:
@@ -254,6 +254,7 @@ class LevelSetMaximizer:
                 multiplier_degree=options.multiplier_degree,
                 check_affinity=options.check_affinity,
                 cone=cone,
+                context=self.context,
             ).compile()
             for constraint in domain.inequalities
         ]

@@ -18,14 +18,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..exceptions import CertificateError
 from ..hybrid import HybridSystem, Mode
-from ..polynomial import ParametricPolynomial, Polynomial, Variable, VariableVector
-from ..sdp import cone_for_relaxation, relaxation_ladder
+from ..polynomial import ParametricPolynomial, Polynomial, VariableVector
+from ..sdp import SolveContext, cone_for_relaxation, relaxation_ladder
 from ..sos import (
     SemialgebraicSet,
     SOSProgram,
@@ -35,23 +34,26 @@ from ..sos import (
     validate_nonnegativity,
 )
 from ..utils import get_logger
+from .config import StageConfig
 
 LOGGER = get_logger("core.lyapunov")
 
 
 @dataclass
-class LyapunovSynthesisOptions:
-    """Knobs of the multiple-Lyapunov SOS program."""
+class LyapunovSynthesisOptions(StageConfig):
+    """Knobs of the multiple-Lyapunov SOS program.
+
+    Inherits the shared stage knobs (``multiplier_degree``,
+    ``solver_backend``, ``solver_settings``, ``relaxation``) from
+    :class:`~repro.core.config.StageConfig`.
+    """
 
     certificate_degree: int = 2
-    multiplier_degree: int = 2
     positivity_margin: float = 1e-3      # epsilon * ||x||^2 lower bound on V_q
     decrease_margin: float = 0.0         # 0 = negative *semi*-definite Lie derivative
     jump_margin: float = 0.0             # slack required across jumps
     common_certificate: bool = False     # force V_1 = ... = V_m (ablation)
     parameter_handling: str = "vertex"   # "vertex" | "interval"
-    solver_backend: Optional[str] = None
-    solver_settings: Dict[str, object] = field(default_factory=dict)
     domain_boxes: Optional[Sequence[Tuple[float, float]]] = None  # state box for S-procedure
     positivity_global: bool = True       # require V - eps||x||^2 SOS globally (stronger, smaller SDP)
     box_in_decrease: bool = False        # intersect decrease domains with the state box
@@ -76,14 +78,6 @@ class LyapunovSynthesisOptions:
     # over the full over-approximated flow strip, which is infeasible for
     # dynamics that do not control the switching coordinate.
     mode_equalities: Optional[Mapping[str, Sequence[Polynomial]]] = None
-    # Gram-cone relaxation of every SOS constraint in the program: "dsos"
-    # (diagonally-dominant Gram matrices -> pure LP cones), "sdsos" (scaled
-    # diagonal dominance -> sums of 2x2 PSD blocks), "sos" (full PSD Gram,
-    # the default) or "auto" — try the cheapest relaxation first and escalate
-    # when the solve is infeasible or the extracted certificates fail
-    # numerical validation.  Certificates found in a cheaper cone are valid
-    # SOS certificates (DSOS ⊂ SDSOS ⊂ SOS).
-    relaxation: str = "sos"
     # Tolerances of the Gram-certificate soundness gate used by the "auto"
     # ladder before accepting a cheap-cone solution (reuses
     # SOSCertificate.is_numerically_sos on the reconstructed Gram matrices).
@@ -136,9 +130,11 @@ class MultipleLyapunovSynthesizer:
 
     def __init__(self, system: HybridSystem,
                  options: Optional[LyapunovSynthesisOptions] = None,
-                 region_box: Optional[Sequence[Tuple[float, float]]] = None):
+                 region_box: Optional[Sequence[Tuple[float, float]]] = None,
+                 context: Optional[SolveContext] = None):
         self.system = system
         self.options = options or LyapunovSynthesisOptions()
+        self.context = context
         if region_box is not None:
             self.options.domain_boxes = list(region_box)
 
@@ -285,7 +281,7 @@ class MultipleLyapunovSynthesizer:
             # ladder ("auto" -> the full PSD program).
             cone = cone_for_relaxation(relaxation_ladder(options.relaxation)[-1])
         program = SOSProgram(name=f"lyapunov_{self.system.name}",
-                             default_cone=cone)
+                             default_cone=cone, context=self.context)
 
         templates: Dict[str, ParametricPolynomial] = {}
         shared: Optional[ParametricPolynomial] = None

@@ -21,7 +21,6 @@ from typing import Dict, List, Optional, Tuple
 from .advection import AdvectionResult
 from .attractive import AttractiveInvariant
 from .escape import EscapeCertificate
-from .levelset import MaximizedLevelSet
 from .lyapunov import LyapunovResult
 
 

@@ -18,7 +18,8 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -35,7 +36,7 @@ def default_cache_dir() -> Path:
     """Resolve the cache root: ``$REPRO_CACHE_DIR``, else XDG cache dir."""
     override = os.environ.get(CACHE_DIR_ENV)
     if override:
-        return Path(override)
+        return Path(override).expanduser()
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = Path(xdg) if xdg else Path.home() / ".cache"
     return base / "repro-pll-sos"
@@ -59,14 +60,20 @@ class CertificateCache:
     """Content-addressed on-disk store of conic :class:`SolverResult` values.
 
     Satisfies the ``get``/``put`` protocol of
-    :func:`repro.sdp.set_solve_cache`, with a small in-memory front so one
-    process never deserialises the same entry twice.
+    :class:`repro.sdp.context.SolveContext`, with a small in-memory front so
+    one process never deserialises the same entry twice.  The in-memory
+    front and the stats counters are lock-guarded: a session shared by a
+    thread pool drives concurrent get/put through one cache instance.
     """
 
     def __init__(self, root: Optional[os.PathLike] = None,
                  memory_entries: int = 256):
-        self.root = Path(root) if root is not None else default_cache_dir()
+        # expanduser so "~/.cache/..." lands in the home directory rather
+        # than creating a literal "./~" directory.
+        self.root = Path(root).expanduser() if root is not None \
+            else default_cache_dir()
         self.stats = CacheStats()
+        self._lock = threading.Lock()
         self._memory: Dict[str, SolverResult] = {}
         self._memory_entries = max(0, int(memory_entries))
         self.root.mkdir(parents=True, exist_ok=True)
@@ -78,22 +85,28 @@ class CertificateCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def _remember(self, key: str, result: SolverResult) -> None:
-        if self._memory_entries == 0:
-            return
-        if len(self._memory) >= self._memory_entries:
-            # Drop the oldest entry (dict preserves insertion order).
-            self._memory.pop(next(iter(self._memory)))
-        self._memory[key] = result
+        with self._lock:
+            if self._memory_entries == 0:
+                return
+            while len(self._memory) >= self._memory_entries:
+                # Drop the oldest entry (dict preserves insertion order).
+                self._memory.pop(next(iter(self._memory)))
+            self._memory[key] = result
+
+    def _count(self, field: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self.stats, field, getattr(self.stats, field) + amount)
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[SolverResult]:
-        cached = self._memory.get(key)
+        with self._lock:
+            cached = self._memory.get(key)
         if cached is not None:
-            self.stats.hits += 1
+            self._count("hits")
             return cached
         path = self.path_for(key)
         if not path.exists():
-            self.stats.misses += 1
+            self._count("misses")
             return None
         try:
             with open(path, "rb") as handle:
@@ -101,15 +114,15 @@ class CertificateCache:
             if not isinstance(result, SolverResult):
                 raise TypeError(f"cache entry holds {type(result).__name__}")
         except Exception as exc:  # corrupted / truncated / wrong type
-            self.stats.corrupted += 1
-            self.stats.misses += 1
+            self._count("corrupted")
+            self._count("misses")
             LOGGER.warning("dropping corrupted cache entry %s: %s", path.name, exc)
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
-        self.stats.hits += 1
+        self._count("hits")
         self._remember(key, result)
         return result
 
@@ -129,7 +142,7 @@ class CertificateCache:
             except OSError:
                 pass
             raise
-        self.stats.writes += 1
+        self._count("writes")
         self._remember(key, result)
 
     # ------------------------------------------------------------------
@@ -145,7 +158,8 @@ class CertificateCache:
                 removed += 1
             except OSError:
                 pass
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         return removed
 
     def describe(self) -> str:

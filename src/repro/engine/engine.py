@@ -46,7 +46,7 @@ from ..core.inevitability import (
 from ..core.levelset import MaximizedLevelSet
 from ..core.report import STEP_FALSIFICATION_CHECK, join_relaxations
 from ..exceptions import CertificateError
-from ..sdp import set_solve_cache, solve_counters
+from ..sdp import DEFAULT_BACKEND, SolveContext
 from ..utils import get_logger
 from .cache import CertificateCache
 from .jobs import (
@@ -79,6 +79,11 @@ class EngineOptions:
     # Gram-cone relaxation override: "dsos" | "sdsos" | "sos" | "auto".
     # None keeps each scenario's registered relaxation.
     relaxation: Optional[str] = None
+    # Conic solver backend of every job's solve context ("admm",
+    # "projection", or any name registered via repro.sdp.register_backend).
+    # None keeps the registry default.  Recorded in the JSON report; enters
+    # the certificate-cache key, so distinct backends never share entries.
+    backend: Optional[str] = None
 
 
 # ----------------------------------------------------------------------
@@ -88,17 +93,17 @@ class EngineOptions:
 def _prepared_problem(scenario: str, relaxation: Optional[str] = None):
     from ..scenarios import build_problem
 
-    problem = build_problem(scenario)
+    problem = build_problem(scenario, relaxation=relaxation)
     if problem.options.lyapunov.domain_boxes is None:
         problem.options.lyapunov.domain_boxes = problem.state_bounds()
-    if relaxation:
-        problem.options.apply_relaxation(relaxation)
     return problem
 
 
-def _step_lyapunov(problem) -> Tuple[str, str, Dict[str, object]]:
+def _step_lyapunov(problem,
+                   context: Optional[SolveContext] = None
+                   ) -> Tuple[str, str, Dict[str, object]]:
     synthesizer = MultipleLyapunovSynthesizer(
-        problem.system, options=problem.options.lyapunov)
+        problem.system, options=problem.options.lyapunov, context=context)
     result = synthesizer.synthesize()
     certificates = {name: cert.certificate
                     for name, cert in result.certificates.items()}
@@ -116,12 +121,13 @@ def _step_lyapunov(problem) -> Tuple[str, str, Dict[str, object]]:
 
 
 def _step_levelset(problem, mode: str,
-                   certificate_data: Dict[str, object]
+                   certificate_data: Dict[str, object],
+                   context: Optional[SolveContext] = None
                    ) -> Tuple[str, str, Dict[str, object]]:
     certificate = polynomial_from_data(certificate_data)
     options = problem.options
     domain = levelset_domain_for(problem, options, mode)
-    maximizer = LevelSetMaximizer(options.levelset)
+    maximizer = LevelSetMaximizer(options.levelset, context=context)
     try:
         level_set = maximizer.maximize(mode, certificate, domain,
                                        bounds=problem.state_bounds())
@@ -155,11 +161,12 @@ def _rebuild_invariant(problem, certificates_data: Dict[str, object],
 
 
 def _step_advection(problem, mode: str, certificates_data: Dict[str, object],
-                    levels: Dict[str, Dict[str, object]]
+                    levels: Dict[str, Dict[str, object]],
+                    context: Optional[SolveContext] = None
                     ) -> Tuple[str, str, Dict[str, object]]:
     invariant = _rebuild_invariant(problem, certificates_data, levels)
     result, timings = run_mode_property_two(
-        problem, problem.options, mode, invariant)
+        problem, problem.options, mode, invariant, context=context)
     advection = result.advection
     data: Dict[str, object] = {
         "converged": bool(advection.converged) if advection else False,
@@ -212,25 +219,31 @@ def _step_falsification(problem, certificates_data: Dict[str, object],
 
 
 def _execute_job(payload: Dict[str, object]) -> Dict[str, object]:
-    """Worker entry point: hermetic execution of one job from plain data."""
+    """Worker entry point: hermetic execution of one job from plain data.
+
+    Every job runs under its own :class:`~repro.sdp.context.SolveContext`
+    (cache + backend + counters) instead of mutating process-global solver
+    state, so inline jobs, pool workers and any other pipelines in the same
+    process are fully isolated from each other.
+    """
     start = time.perf_counter()
     cache_dir = payload.get("cache_dir")
     cache = CertificateCache(cache_dir) if payload.get("use_cache") else None
-    previous = set_solve_cache(cache)
-    before = solve_counters()
+    context = SolveContext(backend=payload.get("backend"), cache=cache,
+                           name=f"job:{payload.get('scenario')}/{payload.get('step')}")
     try:
         problem = _prepared_problem(payload["scenario"],
                                     payload.get("relaxation"))
         step = payload["step"]
         if step == STEP_LYAPUNOV:
-            status, detail, data = _step_lyapunov(problem)
+            status, detail, data = _step_lyapunov(problem, context)
         elif step == STEP_LEVELSET:
             status, detail, data = _step_levelset(
-                problem, payload["mode"], payload["certificate"])
+                problem, payload["mode"], payload["certificate"], context)
         elif step == JOB_STEP_ADVECTION:
             status, detail, data = _step_advection(
                 problem, payload["mode"], payload["certificates"],
-                payload["levels"])
+                payload["levels"], context)
         elif step == STEP_FALSIFICATION:
             status, detail, data = _step_falsification(
                 problem, payload["certificates"], payload["levels"],
@@ -239,16 +252,14 @@ def _execute_job(payload: Dict[str, object]) -> Dict[str, object]:
             raise ValueError(f"unknown engine step {step!r}")
     except Exception:
         status, detail, data = "error", traceback.format_exc(limit=8), {}
-    finally:
-        set_solve_cache(previous)
-    after = solve_counters()
     return {
         "status": status,
         "detail": detail,
         "data": data,
         "seconds": time.perf_counter() - start,
-        # Layout-keyed counter keys can appear mid-job, so diff with .get.
-        "counters": {key: after[key] - before.get(key, 0) for key in after},
+        # The context is fresh per job, so its counters are this job's exact
+        # contribution — no before/after diffing against global state.
+        "counters": context.solve_counters(),
         # The cache object is fresh per job, so its stats are this job's delta.
         "cache_stats": cache.stats.as_dict() if cache is not None else {},
     }
@@ -337,6 +348,7 @@ class _ScenarioDriver:
             "cache_dir": options.cache_dir,
             "seed": options.seed,
             "relaxation": options.relaxation,
+            "backend": options.backend,
         }
         if spec.step == STEP_LEVELSET:
             lyap = self.results[spec.depends_on[0]].data
@@ -446,6 +458,7 @@ class EngineReport:
                 "cache_dir": self.options.cache_dir,
                 "seed": self.options.seed,
                 "relaxation": self.options.relaxation,
+                "backend": self.options.backend or DEFAULT_BACKEND,
                 "wall_seconds": self.wall_seconds,
                 "counters": dict(self.counters),
                 "cache_stats": dict(self.cache_stats),
@@ -457,6 +470,7 @@ class EngineReport:
         lines = [
             f"Engine run: {len(self.outcomes)} scenario(s), "
             f"jobs={self.options.jobs}, cache={'on' if self.options.use_cache else 'off'}, "
+            f"backend={self.options.backend or DEFAULT_BACKEND}, "
             f"{self.wall_seconds:.1f}s wall",
             f"SDP solves: {self.counters.get('solved', 0)} performed, "
             f"{self.counters.get('cache_hit', 0)} served from cache",
@@ -643,7 +657,6 @@ class VerificationEngine:
     def run(self, scenarios: Sequence[str]) -> EngineReport:
         options = self.options
         start = time.perf_counter()
-        before_counters = solve_counters()
 
         drivers = []
         for name in scenarios:
@@ -758,6 +771,9 @@ class VerificationEngine:
                 counters=counters,
             ))
 
+        # Every job ran under its own SolveContext, so the run totals are the
+        # exact per-job sums — inline and pooled runs aggregate identically,
+        # and concurrent engine runs in one process never cross-contaminate.
         totals: Dict[str, int] = {}
         cache_totals: Dict[str, int] = {}
         for outcome in outcomes:
@@ -766,14 +782,6 @@ class VerificationEngine:
             for job in outcome.jobs:
                 for key, value in job.cache_stats.items():
                     cache_totals[key] = cache_totals.get(key, 0) + value
-        if options.jobs == 1:
-            # Inline runs share the parent's process-wide counters; prefer the
-            # exact process delta (identical to the per-job sum, but also
-            # covers planning-time solves if any are ever added).  Layout-
-            # keyed counter keys can appear mid-run, so diff with .get.
-            after = solve_counters()
-            totals = {key: after[key] - before_counters.get(key, 0)
-                      for key in after}
 
         return EngineReport(
             outcomes=outcomes,

@@ -9,7 +9,7 @@ Terms are sorted by monomial order, making the encoding deterministic.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
 
 from ..polynomial import Monomial, Polynomial, VariableVector, make_variables
 

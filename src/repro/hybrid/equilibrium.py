@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import least_squares
 
 from ..exceptions import ModelError
-from ..polynomial import Polynomial, Variable
+from ..polynomial import Variable
 from .mode import Mode
 from .system import HybridSystem
 

@@ -10,7 +10,7 @@ hybrid time domain, matching the formal solution concept of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 from scipy.integrate import solve_ivp

@@ -9,7 +9,6 @@ import numpy as np
 
 from ..exceptions import ModelError
 from ..polynomial import Polynomial, Variable, VariableVector
-from ..sos import SemialgebraicSet
 from ..utils import Interval
 from .mode import Mode
 from .transition import Transition

@@ -8,7 +8,7 @@ hybrid time (inevitability, bounded reachability) can be checked directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np

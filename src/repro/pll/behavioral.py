@@ -16,8 +16,8 @@ cycles is instantaneous regardless of the physical reference frequency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 from scipy.integrate import solve_ivp

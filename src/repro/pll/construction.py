@@ -14,7 +14,7 @@ Both the third- and fourth-order builders produce the same structure:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

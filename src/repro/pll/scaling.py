@@ -16,7 +16,7 @@ exactly (their level sets map through the same affine map).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
 import numpy as np

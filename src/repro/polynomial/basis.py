@@ -9,7 +9,7 @@ be written ``z(x)^T Q z(x)`` with ``Q ⪰ 0``.  Utilities for trimming the basis
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from .monomial import Monomial, exponents_up_to_degree
 from .polynomial import Polynomial

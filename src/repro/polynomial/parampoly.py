@@ -10,9 +10,8 @@ in ``d``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
-import numpy as np
 
 from .linexpr import DecisionVariable, LinExpr, _is_number
 from .monomial import Monomial

@@ -13,7 +13,7 @@ historical ``{Monomial: float}`` mapping remains available through the
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -8,7 +8,7 @@ identity (by name) is the only piece of global state needed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Tuple
 
 

@@ -10,10 +10,9 @@ polynomial systems wrapped in a single-mode hybrid shell.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from ..core.inevitability import InevitabilityOptions
 from ..hybrid import HybridSystem

@@ -85,13 +85,29 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: relaxation {self.relaxation!r} "
                 f"not in {RELAXATIONS}")
 
-    def build(self) -> ScenarioProblem:
-        """Construct the scenario's verification problem."""
+    def build(self, relaxation: Optional[str] = None,
+              backend: Optional[str] = None) -> ScenarioProblem:
+        """Construct the scenario's verification problem.
+
+        ``relaxation`` overrides this spec's registered Gram-cone relaxation
+        (the engine/CLI ``--relaxation`` flag and session defaults arrive
+        here); ``backend`` forces a stage-level solver backend onto every
+        pipeline stage (the usual way to select a backend is the session's
+        solve context, which needs no option rewriting — this override exists
+        for workloads that must pin the backend regardless of context).
+        """
         problem = self.builder(self)
         problem.name = self.name
         problem.expected = self.expected
-        if self.relaxation != "sos":
+        if relaxation is not None:
+            # An explicit override always lands on the stage options, even
+            # when it names the default ("sos" must reset a builder that
+            # chose a cheaper cone itself).
+            problem.options.apply_relaxation(relaxation)
+        elif self.relaxation != "sos":
             problem.options.apply_relaxation(self.relaxation)
+        if backend is not None:
+            problem.options.apply_backend(backend)
         return problem
 
     def summary_row(self) -> Dict[str, object]:
@@ -161,6 +177,11 @@ def fast_scenario_names() -> Tuple[str, ...]:
     return tuple(spec.name for spec in all_scenarios() if spec.fast)
 
 
-def build_problem(name: str) -> ScenarioProblem:
-    """Build the named scenario's problem (the engine worker entry point)."""
-    return get_scenario(name).build()
+def build_problem(name: str, relaxation: Optional[str] = None,
+                  backend: Optional[str] = None) -> ScenarioProblem:
+    """Build the named scenario's problem (the engine worker entry point).
+
+    ``relaxation`` / ``backend`` optionally override the registered defaults
+    (see :meth:`ScenarioSpec.build`).
+    """
+    return get_scenario(name).build(relaxation=relaxation, backend=backend)

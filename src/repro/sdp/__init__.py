@@ -26,6 +26,7 @@ from .gramcone import (
     normalize_gram_cone,
     relaxation_ladder,
 )
+from .context import SolveContext, default_context
 from .problem import ConicProblem, ConicProblemBuilder, VariableBlock
 from .result import SolveHistory, SolverResult, SolverStatus
 from .scaling import ScalingData, drop_zero_rows, equilibrate, presolve, row_inf_norms
@@ -69,6 +70,8 @@ __all__ = [
     "normalize_gram_cone",
     "cone_for_relaxation",
     "relaxation_ladder",
+    "SolveContext",
+    "default_context",
     "SolverResult",
     "SolverStatus",
     "SolveHistory",

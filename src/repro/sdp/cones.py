@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

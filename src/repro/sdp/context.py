@@ -1,0 +1,275 @@
+"""Explicit solver state: the :class:`SolveContext` context object.
+
+Historically the conic layer kept its cross-cutting state — the installed
+solve cache, the solve/compile counters, the default backend — in module
+globals of :mod:`repro.sdp.solver` (``_SOLVE_CACHE``, ``_SOLVE_COUNTERS``)
+and :mod:`repro.sos.program` (``_COMPILE_COUNTERS``).  A :class:`SolveContext`
+owns all of that state explicitly, so independent verification pipelines —
+different caches, backends, relaxations — can run *concurrently in one
+process* without clobbering each other's counters or sharing cache entries.
+
+The module-level functions of :mod:`repro.sdp.solver`
+(:func:`~repro.sdp.solver.solve_conic_problem`,
+:func:`~repro.sdp.solver.solve_counters`, …) remain as thin shims over the
+process-default context returned by :func:`default_context`, so pre-existing
+call sites keep working unchanged; new code should pass a context (usually
+via :class:`repro.api.VerificationSession`) instead.
+
+All counter updates are guarded by a per-context lock: concurrent solves
+from a thread pool never lose increments.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Union
+
+from .problem import ConicProblem
+from .result import SolverResult
+
+#: Base solve-counter keys always present in a counter snapshot.
+BASE_SOLVE_COUNTERS = ("solved", "cache_hit")
+#: Base compile-counter keys always present in a compile snapshot.
+BASE_COMPILE_COUNTERS = ("full", "memoised")
+
+# Process-wide compile aggregate.  ``repro.sos.compile_counters()`` has
+# always been documented as *process-wide* accounting, and callers use it to
+# prove that a warm-cache replay genuinely recompiled its programs — work
+# that nowadays happens inside per-job/session contexts.  Every context
+# therefore mirrors its compile events into this aggregate (telemetry only;
+# per-context counters remain exact and isolated).
+_AGGREGATE_COMPILE_LOCK = threading.Lock()
+_AGGREGATE_COMPILE_COUNTERS: Dict[str, int] = {k: 0 for k in BASE_COMPILE_COUNTERS}
+
+
+def aggregate_compile_counters() -> Dict[str, int]:
+    """Process-wide compile counters, summed across every context."""
+    with _AGGREGATE_COMPILE_LOCK:
+        return dict(_AGGREGATE_COMPILE_COUNTERS)
+
+
+def reset_aggregate_compile_counters() -> None:
+    with _AGGREGATE_COMPILE_LOCK:
+        for key in BASE_COMPILE_COUNTERS:
+            _AGGREGATE_COMPILE_COUNTERS[key] = 0
+
+
+class SolveContext:
+    """Owns everything ambient about conic solving.
+
+    Parameters
+    ----------
+    backend:
+        Default solver backend (name or constructed solver object) used when
+        a solve call does not name one; ``None`` falls back to the registry
+        default (``"admm"``).
+    solver_settings:
+        Default keyword settings merged under every solve call's explicit
+        settings (explicit keys win).
+    cache:
+        Optional solve-result cache — any object with ``get(key) ->
+        Optional[SolverResult]`` and ``put(key, result)``, e.g. a
+        :class:`repro.engine.cache.CertificateCache`.
+
+    Caching policy (unchanged from the historical module-global cache):
+    EVERY terminal result is cached, including failure statuses — in this
+    pipeline a rejected feasibility probe is a meaningful outcome, and
+    replaying it keeps a warm-cache run a bit-identical, zero-solve replay
+    of the cold run.  The key intentionally excludes warm starts (they
+    affect the path, not the validity, of a result).
+    """
+
+    def __init__(self, backend: Union[str, object, None] = None,
+                 solver_settings: Optional[Dict[str, object]] = None,
+                 cache: Optional[object] = None,
+                 name: str = "context"):
+        self.name = name
+        self.backend = backend
+        self.solver_settings: Dict[str, object] = dict(solver_settings or {})
+        self.cache = cache
+        self._lock = threading.Lock()
+        self._solve_counters: Dict[str, int] = {k: 0 for k in BASE_SOLVE_COUNTERS}
+        self._compile_counters: Dict[str, int] = {k: 0 for k in BASE_COMPILE_COUNTERS}
+
+    # ------------------------------------------------------------------
+    # Counters (thread-safe)
+    # ------------------------------------------------------------------
+    def record_solve_event(self, event: str, layout_kind: Optional[str] = None,
+                           amount: int = 1) -> None:
+        """Count one solve event (``"solved"`` / ``"cache_hit"``).
+
+        ``layout_kind`` additionally bumps the cone-layout-keyed counter
+        (``solved:psd``, ``cache_hit:sdd``, …) so relaxation-aware tests can
+        assert *which* Gram cone actually solved.
+        """
+        with self._lock:
+            self._solve_counters[event] = self._solve_counters.get(event, 0) + amount
+            if layout_kind is not None:
+                keyed = f"{event}:{layout_kind}"
+                self._solve_counters[keyed] = self._solve_counters.get(keyed, 0) + amount
+
+    def record_compile_event(self, event: str, amount: int = 1) -> None:
+        """Count one SOS compile event (``"full"`` / ``"memoised"``)."""
+        with self._lock:
+            self._compile_counters[event] = self._compile_counters.get(event, 0) + amount
+        with _AGGREGATE_COMPILE_LOCK:
+            _AGGREGATE_COMPILE_COUNTERS[event] = \
+                _AGGREGATE_COMPILE_COUNTERS.get(event, 0) + amount
+
+    def solve_counters(self) -> Dict[str, int]:
+        """Snapshot of this context's conic solve counters."""
+        with self._lock:
+            return dict(self._solve_counters)
+
+    def compile_counters(self) -> Dict[str, int]:
+        """Snapshot of this context's SOS compile counters."""
+        with self._lock:
+            return dict(self._compile_counters)
+
+    def reset_solve_counters(self) -> None:
+        """Zero the solve counters only."""
+        with self._lock:
+            self._solve_counters = {k: 0 for k in BASE_SOLVE_COUNTERS}
+
+    def reset_compile_counters(self) -> None:
+        """Zero the compile counters only."""
+        with self._lock:
+            self._compile_counters = {k: 0 for k in BASE_COMPILE_COUNTERS}
+
+    def reset_counters(self) -> None:
+        """Zero both counter families."""
+        self.reset_solve_counters()
+        self.reset_compile_counters()
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def set_cache(self, cache: Optional[object]) -> Optional[object]:
+        """Install (or clear, with ``None``) this context's solve cache.
+
+        Returns the previously installed cache so callers can restore it.
+        """
+        previous = self.cache
+        self.cache = cache
+        return previous
+
+    # ------------------------------------------------------------------
+    # Resolution helpers
+    # ------------------------------------------------------------------
+    def _resolve(self, backend: Union[str, object, None],
+                 settings: Dict[str, object]):
+        from .solver import effective_solver_settings
+
+        resolved_backend = backend if backend is not None else self.backend
+        if self.solver_settings:
+            resolved_settings = {**self.solver_settings, **settings}
+        else:
+            resolved_settings = settings
+        # Normalise to the settings the backend actually consumes, so cache
+        # keys (and the solve itself) ignore knobs another backend owns.
+        resolved_settings = effective_solver_settings(resolved_backend,
+                                                      resolved_settings)
+        return resolved_backend, resolved_settings
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self, problem: ConicProblem,
+              backend: Union[str, object, None] = None,
+              warm_start: Optional[object] = None,
+              **settings) -> SolverResult:
+        """Solve one conic problem under this context's cache and defaults.
+
+        ``backend``/``settings`` passed here win over the context defaults;
+        the context defaults win over the registry default.  Results are
+        served from and written to this context's cache (when installed) and
+        counted in this context's counters only.
+        """
+        from .solver import solve_cache_key, solve_single_uncached
+
+        backend, settings = self._resolve(backend, settings)
+        cache = self.cache
+        key: Optional[str] = None
+        if cache is not None:
+            key = solve_cache_key(problem, backend, settings)
+            cached = cache.get(key)
+            if cached is not None:
+                self.record_solve_event("cache_hit", problem.layout_kind)
+                return cached
+        result = solve_single_uncached(problem, backend, warm_start, settings)
+        self.record_solve_event("solved", problem.layout_kind)
+        if cache is not None and key is not None:
+            cache.put(key, result)
+        return result
+
+    def solve_many(self, problems: Sequence[ConicProblem],
+                   backend: Union[str, object, None] = None,
+                   warm_starts: Optional[Sequence[Optional[object]]] = None,
+                   **settings) -> List[SolverResult]:
+        """Solve a batch of structurally identical conic problems.
+
+        The ADMM backend (the default) routes the whole batch through
+        :class:`~repro.sdp.batch.BatchADMMSolver`; other backends are solved
+        sequentially with per-problem warm starts.  Per-problem statuses
+        match solving each problem alone.
+        """
+        from .solver import solve_batch_uncached, solve_cache_key
+
+        backend, settings = self._resolve(backend, settings)
+        problems = list(problems)
+        if warm_starts is None:
+            warm_starts = [None] * len(problems)
+        warm_starts = list(warm_starts)
+        if len(warm_starts) != len(problems):
+            raise ValueError("warm_starts must align with problems")
+
+        cache = self.cache
+        results: List[Optional[SolverResult]] = [None] * len(problems)
+        keys: List[Optional[str]] = [None] * len(problems)
+        pending = list(range(len(problems)))
+        if cache is not None:
+            pending = []
+            for i, problem in enumerate(problems):
+                keys[i] = solve_cache_key(problem, backend, settings)
+                cached = cache.get(keys[i])
+                if cached is not None:
+                    self.record_solve_event("cache_hit", problem.layout_kind)
+                    results[i] = cached
+                else:
+                    pending.append(i)
+        if pending:
+            sub_problems = [problems[i] for i in pending]
+            sub_starts = [warm_starts[i] for i in pending]
+            solved = solve_batch_uncached(sub_problems, backend, sub_starts, settings)
+            for problem in sub_problems:
+                self.record_solve_event("solved", problem.layout_kind)
+            for i, result in zip(pending, solved):
+                results[i] = result
+                if cache is not None and keys[i] is not None:
+                    cache.put(keys[i], result)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        counters = self.solve_counters()
+        return (f"SolveContext({self.name!r}: backend={self.backend!r}, "
+                f"cache={'on' if self.cache is not None else 'off'}, "
+                f"solved={counters.get('solved', 0)}, "
+                f"cache_hit={counters.get('cache_hit', 0)})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return self.describe()
+
+
+#: The process-default context backing the legacy module-level API.
+_DEFAULT_CONTEXT = SolveContext(name="default")
+
+
+def default_context() -> SolveContext:
+    """The process-default :class:`SolveContext`.
+
+    Every context-less call (``solve_conic_problem(...)`` without
+    ``context=``, a :class:`~repro.sos.program.SOSProgram` built without one)
+    lands here, which preserves the historical module-global behaviour.
+    """
+    return _DEFAULT_CONTEXT

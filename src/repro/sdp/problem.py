@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from .cones import ConeDims, cone_violation, svec_dim, svec_entry_coefficient, svec_indices
+from .cones import ConeDims, cone_violation, svec_dim, svec_entry_coefficient
 
 
 @dataclass

@@ -1,79 +1,132 @@
-"""Backend registry and the single entry point :func:`solve_conic_problem`.
+"""Backend registry and the :func:`solve_conic_problem` entry points.
 
 The SOS layer never talks to a specific solver class; it requests a backend
 by name (``"admm"`` by default) so that experiments can swap or ablate the
 numerical engine without touching the verification code.
+
+Cross-cutting solver state — the result cache, the solve counters, backend
+defaults — lives in a :class:`~repro.sdp.context.SolveContext`.  The
+functions here accept an explicit ``context=``; when omitted they fall back
+to the process-default context, which is what the deprecated module-level
+state accessors (:func:`set_solve_cache`, :func:`reset_solve_counters`)
+manipulate.  New code should hold its own context (usually through
+:class:`repro.api.VerificationSession`) instead of mutating the default one.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import inspect
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from ..utils import get_logger
 from .admm import ADMMConicSolver, ADMMSettings, WarmStart
 from .batch import BatchADMMSolver
 from .problem import ConicProblem
 from .projection import AlternatingProjectionSolver, ProjectionSettings
 from .result import SolverResult
 
+LOGGER = get_logger("sdp.solver")
+
 SolverFactory = Callable[[], object]
 
-# Process-wide solve accounting, mirroring ``repro.sos.compile_counters``:
-# ``solved`` counts actual conic solves performed by a backend, ``cache_hit``
-# counts solves served from the installed solve cache.  The verification
-# engine asserts against these that a warm-cache re-verification performs
-# zero SDP solves.  Each event is additionally keyed by the problem's cone
-# layout kind (``solved:psd``, ``solved:sdd``, ``cache_hit:dd``, ...) so
-# cache and parity tests can assert *which* Gram-cone relaxation actually
-# solved (see :attr:`repro.sdp.problem.ConicProblem.layout_kind`).
-_BASE_COUNTERS = ("solved", "cache_hit")
-_SOLVE_COUNTERS: Dict[str, int] = {key: 0 for key in _BASE_COUNTERS}
+
+def _settings_for(settings_cls, settings: Dict[str, object]) -> Dict[str, object]:
+    """Drop keyword settings the backend's settings dataclass does not know.
+
+    Scenario options carry one ``solver_settings`` dict tuned for the default
+    backend; swapping backends (``--backend projection``) must not crash on
+    tuning knobs the other backend has no counterpart for.  Only keys that
+    belong to *some* built-in backend are dropped (and logged); a key no
+    backend recognises is a typo and still raises ``TypeError``, preserving
+    the pre-swap validation.
+    """
+    known = {field.name for field in dataclasses.fields(settings_cls)}
+    kept = {key: value for key, value in settings.items() if key in known}
+    dropped = sorted(set(settings) - known)
+    if dropped:
+        recognised = set()
+        for cls in (ADMMSettings, ProjectionSettings):
+            recognised |= {field.name for field in dataclasses.fields(cls)}
+        bogus = [key for key in dropped if key not in recognised]
+        if bogus:
+            raise TypeError(
+                f"unknown solver setting(s) {bogus} (not accepted by any "
+                f"built-in backend; {settings_cls.__name__} accepts {sorted(known)})")
+        LOGGER.info("backend %s ignores solver settings %s",
+                    settings_cls.__name__, dropped)
+    return kept
 
 
-def _count_solve_event(event: str, problem: ConicProblem, amount: int = 1) -> None:
-    _SOLVE_COUNTERS[event] = _SOLVE_COUNTERS.get(event, 0) + amount
-    keyed = f"{event}:{problem.layout_kind}"
-    _SOLVE_COUNTERS[keyed] = _SOLVE_COUNTERS.get(keyed, 0) + amount
+def effective_solver_settings(backend: Union[str, object, None],
+                              settings: Dict[str, object]) -> Dict[str, object]:
+    """The settings a named built-in backend will actually consume.
+
+    Used to normalise cache keys: two solves whose settings differ only in
+    knobs the backend ignores are the same solve and must share a cache
+    entry.  Unknown backend names and backend objects pass through unchanged
+    (their factories decide what they accept).
+    """
+    if backend is None or backend in ("admm", "batch_admm"):
+        return _settings_for(ADMMSettings, settings)
+    if backend == "projection":
+        return _settings_for(ProjectionSettings, settings)
+    return dict(settings)
 
 
-def solve_counters() -> Dict[str, int]:
-    """Snapshot of the process-wide conic solve counters."""
-    return dict(_SOLVE_COUNTERS)
+def solve_counters(context: Optional[object] = None) -> Dict[str, int]:
+    """Snapshot of a context's conic solve counters (default context if none).
+
+    ``solved`` counts actual conic solves performed by a backend,
+    ``cache_hit`` counts solves served from the context's cache.  Each event
+    is additionally keyed by the problem's cone layout kind (``solved:psd``,
+    ``cache_hit:dd``, …; see
+    :attr:`repro.sdp.problem.ConicProblem.layout_kind`).
+    """
+    from .context import default_context
+
+    return (context or default_context()).solve_counters()
 
 
 def reset_solve_counters() -> None:
-    _SOLVE_COUNTERS.clear()
-    _SOLVE_COUNTERS.update({key: 0 for key in _BASE_COUNTERS})
+    """Deprecated: reset the *default* context's solve counters.
 
+    Session-scoped code never needs this — a fresh
+    :class:`~repro.sdp.context.SolveContext` starts at zero.
+    """
+    warnings.warn(
+        "reset_solve_counters() mutates process-global state; create a "
+        "SolveContext (or repro.api.VerificationSession) instead",
+        DeprecationWarning, stacklevel=2)
+    from .context import default_context
 
-# Optional pluggable result cache.  Any object with ``get(key) ->
-# Optional[SolverResult]`` and ``put(key, result)`` works; the engine installs
-# a content-addressed on-disk :class:`repro.engine.cache.CertificateCache`.
-#
-# Policy: EVERY terminal result is cached, including failure statuses
-# (MAX_ITERATIONS, INFEASIBLE_SUSPECTED) — in this pipeline a rejected
-# feasibility probe is a meaningful outcome (e.g. a rejected level in the
-# level-ladder), and replaying it keeps a warm-cache run a bit-identical,
-# zero-solve replay of the cold run.  The key intentionally excludes warm
-# starts (they affect the path, not the validity, of a result); callers who
-# want a fresh attempt at a previously failed solve bypass the cache.
-_SOLVE_CACHE: Optional[object] = None
+    default_context().reset_solve_counters()
 
 
 def set_solve_cache(cache: Optional[object]) -> Optional[object]:
-    """Install (or clear, with ``None``) the process-wide solve cache.
+    """Deprecated: install (or clear, with ``None``) the default context's cache.
 
-    Returns the previously installed cache so callers can restore it.
+    Returns the previously installed cache so callers can restore it.  New
+    code should pass ``cache=`` to a :class:`~repro.sdp.context.SolveContext`
+    or :class:`repro.api.VerificationSession` instead of mutating the
+    process-wide default.
     """
-    global _SOLVE_CACHE
-    previous = _SOLVE_CACHE
-    _SOLVE_CACHE = cache
-    return previous
+    warnings.warn(
+        "set_solve_cache() mutates process-global state; create a "
+        "SolveContext (or repro.api.VerificationSession) with cache= instead",
+        DeprecationWarning, stacklevel=2)
+    from .context import default_context
+
+    return default_context().set_cache(cache)
 
 
-def get_solve_cache() -> Optional[object]:
-    return _SOLVE_CACHE
+def get_solve_cache(context: Optional[object] = None) -> Optional[object]:
+    """The cache installed on ``context`` (default context if none)."""
+    from .context import default_context
+
+    return (context or default_context()).cache
 
 
 def canonical_solver_options(backend: Union[str, object, None],
@@ -146,11 +199,12 @@ def make_solver(backend: Union[str, object, None] = None, **settings):
         return backend
     if backend not in _BACKENDS:
         raise KeyError(f"unknown solver backend {backend!r}; available: {available_backends()}")
-    if backend == "admm":
-        return ADMMConicSolver(ADMMSettings(**settings)) if settings else ADMMConicSolver()
-    if backend == "batch_admm":
-        return BatchADMMSolver(ADMMSettings(**settings)) if settings else BatchADMMSolver()
+    if backend in ("admm", "batch_admm"):
+        settings = _settings_for(ADMMSettings, settings)
+        solver_cls = ADMMConicSolver if backend == "admm" else BatchADMMSolver
+        return solver_cls(ADMMSettings(**settings)) if settings else solver_cls()
     if backend == "projection":
+        settings = _settings_for(ProjectionSettings, settings)
         return AlternatingProjectionSolver(ProjectionSettings(**settings)) \
             if settings else AlternatingProjectionSolver()
     factory = _BACKENDS[backend]
@@ -160,32 +214,28 @@ def make_solver(backend: Union[str, object, None] = None, **settings):
 def solve_conic_problem(problem: ConicProblem,
                         backend: Union[str, object, None] = None,
                         warm_start: Optional[WarmStart] = None,
+                        context: Optional[object] = None,
                         **settings) -> SolverResult:
     """Solve a conic problem with the requested backend.
 
-    ``warm_start`` is forwarded to backends that support it (the built-in ADMM
-    and alternating-projection solvers); other backends are called without it.
-    Pass the ``warm_start_data`` dict from a previous result on a structurally
-    identical problem to accelerate sequential solves.
+    ``context`` is the :class:`~repro.sdp.context.SolveContext` whose cache,
+    counters and defaults govern this solve; ``None`` uses the process
+    default.  ``warm_start`` is forwarded to backends that support it (the
+    built-in ADMM and alternating-projection solvers); other backends are
+    called without it.  Pass the ``warm_start_data`` dict from a previous
+    result on a structurally identical problem to accelerate sequential
+    solves.
     """
-    cache = _SOLVE_CACHE
-    key: Optional[str] = None
-    if cache is not None:
-        key = solve_cache_key(problem, backend, settings)
-        cached = cache.get(key)
-        if cached is not None:
-            _count_solve_event("cache_hit", problem)
-            return cached
-    result = _solve_single_uncached(problem, backend, warm_start, settings)
-    _count_solve_event("solved", problem)
-    if cache is not None and key is not None:
-        cache.put(key, result)
-    return result
+    from .context import default_context
+
+    return (context or default_context()).solve(
+        problem, backend=backend, warm_start=warm_start, **settings)
 
 
 def solve_conic_problems(problems: Sequence[ConicProblem],
                          backend: Union[str, object, None] = None,
                          warm_starts: Optional[Sequence[Optional[WarmStart]]] = None,
+                         context: Optional[object] = None,
                          **settings) -> List[SolverResult]:
     """Solve a batch of structurally identical conic problems.
 
@@ -194,60 +244,37 @@ def solve_conic_problems(problems: Sequence[ConicProblem],
     cone projections, multi-RHS KKT solves and per-problem convergence
     masking.  Other backends are solved sequentially with per-problem warm
     starts.  Per-problem statuses match solving each problem alone.
+    ``context`` selects the governing :class:`~repro.sdp.context.SolveContext`
+    (the process default when ``None``).
     """
-    problems = list(problems)
-    if warm_starts is None:
-        warm_starts = [None] * len(problems)
-    warm_starts = list(warm_starts)
-    if len(warm_starts) != len(problems):
-        raise ValueError("warm_starts must align with problems")
+    from .context import default_context
 
-    cache = _SOLVE_CACHE
-    results: List[Optional[SolverResult]] = [None] * len(problems)
-    keys: List[Optional[str]] = [None] * len(problems)
-    pending = list(range(len(problems)))
-    if cache is not None:
-        pending = []
-        for i, problem in enumerate(problems):
-            keys[i] = solve_cache_key(problem, backend, settings)
-            cached = cache.get(keys[i])
-            if cached is not None:
-                _count_solve_event("cache_hit", problem)
-                results[i] = cached
-            else:
-                pending.append(i)
-    if pending:
-        sub_problems = [problems[i] for i in pending]
-        sub_starts = [warm_starts[i] for i in pending]
-        solved = _solve_batch_uncached(sub_problems, backend, sub_starts, settings)
-        for problem in sub_problems:
-            _count_solve_event("solved", problem)
-        for i, result in zip(pending, solved):
-            results[i] = result
-            if cache is not None and keys[i] is not None:
-                cache.put(keys[i], result)
-    return results  # type: ignore[return-value]
+    return (context or default_context()).solve_many(
+        problems, backend=backend, warm_starts=warm_starts, **settings)
 
 
-def _solve_batch_uncached(problems: List[ConicProblem],
-                          backend: Union[str, object, None],
-                          warm_starts: List[Optional[WarmStart]],
-                          settings: Dict[str, object]) -> List[SolverResult]:
+def solve_batch_uncached(problems: List[ConicProblem],
+                         backend: Union[str, object, None],
+                         warm_starts: List[Optional[WarmStart]],
+                         settings: Dict[str, object]) -> List[SolverResult]:
+    """Raw batch solve — no cache, no counters (used by :class:`SolveContext`)."""
     if backend is None or backend in ("admm", "batch_admm"):
+        settings = _settings_for(ADMMSettings, settings)
         solver = BatchADMMSolver(ADMMSettings(**settings)) if settings else BatchADMMSolver()
         return solver.solve_batch(problems, warm_starts)
     if isinstance(backend, BatchADMMSolver):
         return backend.solve_batch(problems, warm_starts)
     if isinstance(backend, ADMMConicSolver):
         return BatchADMMSolver(backend.settings).solve_batch(problems, warm_starts)
-    return [_solve_single_uncached(problem, backend, ws, settings)
+    return [solve_single_uncached(problem, backend, ws, settings)
             for problem, ws in zip(problems, warm_starts)]
 
 
-def _solve_single_uncached(problem: ConicProblem,
-                           backend: Union[str, object, None],
-                           warm_start: Optional[WarmStart],
-                           settings: Dict[str, object]) -> SolverResult:
+def solve_single_uncached(problem: ConicProblem,
+                          backend: Union[str, object, None],
+                          warm_start: Optional[WarmStart],
+                          settings: Dict[str, object]) -> SolverResult:
+    """Raw single solve — no cache, no counters (used by :class:`SolveContext`)."""
     solver = make_solver(backend, **settings)
     if warm_start is not None and _accepts_warm_start(solver):
         return solver.solve(problem, warm_start=warm_start)

@@ -45,15 +45,22 @@ class ParametricSOSProgram:
     interpreting solver results (variable layout is identical across the
     family); its payload — e.g. a multiplier template — is exposed as
     :attr:`payload`.
+
+    ``context`` is the :class:`~repro.sdp.context.SolveContext` applied to
+    every program the family builds (unless the build callable already
+    attached one), so the structural compiles are counted on the owning
+    session rather than the process default.
     """
 
     def __init__(self, build: Callable[[float], BuildResult],
                  probes: Tuple[float, float] = (0.0, 1.0),
                  check_affinity: bool = True,
-                 name: str = "parametric_sos"):
+                 name: str = "parametric_sos",
+                 context: Optional[object] = None):
         if float(probes[0]) == float(probes[1]):
             raise ValueError("probe values must be distinct")
         self.name = name
+        self.context = context
         self._build = build
         self._probes = (float(probes[0]), float(probes[1]))
         self._check_affinity = check_affinity
@@ -99,6 +106,8 @@ class ParametricSOSProgram:
             program, payload = built
         else:
             program, payload = built, None
+        if self.context is not None and program.context is None:
+            program.context = self.context
         problem = program.compile()[0].build()
         self.num_structure_compiles += 1
         return program, payload, problem

@@ -17,9 +17,10 @@ paper; here it is a self-contained pure-Python implementation.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -37,8 +38,10 @@ from ..polynomial import (
 from ..sdp import (
     ConicProblemBuilder,
     GramBlockHandle,
+    SolveContext,
     SolverResult,
     SolverStatus,
+    default_context,
     normalize_gram_cone,
     solve_conic_problem,
 )
@@ -51,21 +54,35 @@ class SOSProgramError(RuntimeError):
     """Raised when an SOS program is malformed or cannot be compiled."""
 
 
-# Process-wide compile accounting.  ``full`` counts actual coefficient-matching
-# assemblies; ``memoised`` counts compile() calls served from a program's cache.
-# The parametric-solve layer asserts against these counters that a bound
-# bisection query never triggers a recompile.
-_COMPILE_COUNTERS = {"full": 0, "memoised": 0}
+# Compile accounting lives on the governing SolveContext.  ``full`` counts
+# actual coefficient-matching assemblies; ``memoised`` counts compile() calls
+# served from a program's cache.  The parametric-solve layer asserts against
+# these counters that a bound bisection query never triggers a recompile.
+# Without an explicit context the module-level accessors read the
+# *process-wide aggregate* (the historical semantics — it also covers work
+# done inside per-job/session contexts); per-session counters are read off
+# the session's own context.
+def compile_counters(context: Optional[SolveContext] = None) -> Dict[str, int]:
+    """SOS compile counters: ``context``'s own, or the process-wide aggregate."""
+    if context is not None:
+        return context.compile_counters()
+    from ..sdp.context import aggregate_compile_counters
+
+    return aggregate_compile_counters()
 
 
-def compile_counters() -> Dict[str, int]:
-    """Snapshot of the process-wide SOS compile counters."""
-    return dict(_COMPILE_COUNTERS)
+def reset_compile_counters(context: Optional[SolveContext] = None) -> None:
+    if context is not None:
+        context.reset_compile_counters()
+        return
+    warnings.warn(
+        "reset_compile_counters() without a context mutates process-global "
+        "state; create a SolveContext (or repro.api.VerificationSession) "
+        "instead", DeprecationWarning, stacklevel=2)
+    from ..sdp.context import reset_aggregate_compile_counters
 
-
-def reset_compile_counters() -> None:
-    for key in _COMPILE_COUNTERS:
-        _COMPILE_COUNTERS[key] = 0
+    reset_aggregate_compile_counters()
+    default_context().reset_compile_counters()
 
 
 @dataclass(frozen=True)
@@ -227,10 +244,16 @@ class SOSProgram:
     the default), ``"sdd"`` (SDSOS — sums of 2x2 PSD blocks) or ``"dd"``
     (DSOS — a pure LP lowering).  Relaxation aliases (``"sos"``,
     ``"sdsos"``, ``"dsos"``) are accepted.
+
+    ``context`` is the :class:`~repro.sdp.context.SolveContext` whose cache,
+    counters and backend defaults govern this program's compiles and solves;
+    ``None`` uses the process-default context (the historical behaviour).
     """
 
-    def __init__(self, name: str = "sos_program", default_cone: str = "psd"):
+    def __init__(self, name: str = "sos_program", default_cone: str = "psd",
+                 context: Optional[SolveContext] = None):
         self.name = name
+        self.context = context
         self._default_cone = normalize_gram_cone(default_cone)
         self._decision_variables: Dict[int, DecisionVariable] = {}
         self._sos_constraints: List[SOSConstraint] = []
@@ -399,8 +422,9 @@ class SOSProgram:
     def _decision_order(self) -> List[DecisionVariable]:
         return [self._decision_variables[uid] for uid in sorted(self._decision_variables)]
 
-    def compile(self) -> Tuple[ConicProblemBuilder, Dict[DecisionVariable, Tuple[int, int]],
-                               List[Tuple[SOSConstraint, GramBlockHandle]]]:
+    def compile(self, context: Optional[SolveContext] = None
+                ) -> Tuple[ConicProblemBuilder, Dict[DecisionVariable, Tuple[int, int]],
+                           List[Tuple[SOSConstraint, GramBlockHandle]]]:
         """Build the conic problem.
 
         Returns the builder, a map from decision variable to (block id, local
@@ -408,12 +432,16 @@ class SOSProgram:
         The result is memoised: recompiling an unmodified program is free,
         and the per-(basis, support) Gram row plans are cached process-wide
         so that structurally identical programs (parameter sweeps, bisection
-        loops) only refill numeric coefficients.
+        loops) only refill numeric coefficients.  ``context`` overrides which
+        context the compile event is counted on for this call (used by
+        :meth:`solve` so a per-call context override governs the whole
+        compile-and-solve, not just the solve).
         """
+        counting = context or self.context or default_context()
         if self._compiled is not None:
-            _COMPILE_COUNTERS["memoised"] += 1
+            counting.record_compile_event("memoised")
             return self._compiled
-        _COMPILE_COUNTERS["full"] += 1
+        counting.record_compile_event("full")
         builder = ConicProblemBuilder()
         decision_order = self._decision_order()
         var_location: Dict[DecisionVariable, Tuple[int, int]] = {}
@@ -547,24 +575,32 @@ class SOSProgram:
     # ------------------------------------------------------------------
     def solve(self, backend: Union[str, object, None] = None,
               warm_start: Optional[object] = None,
+              context: Optional[SolveContext] = None,
               **solver_settings) -> SOSSolution:
         """Compile (memoised) and solve the program.
 
         ``warm_start`` accepts the ``warm_start_data`` dict of a previous
         solve on a structurally identical program (e.g. the previous level of
         a bisection loop); it is forwarded to backends that support it.
+        ``context`` overrides the program's own solve context for this call
+        (both the compile accounting and the solve itself).
         """
+        effective = context or self.context
         compile_start = time.perf_counter()
-        builder, var_location, sos_blocks = self.compile()
+        builder, var_location, sos_blocks = self.compile(context=effective)
         problem = builder.build()
         compile_time = time.perf_counter() - compile_start
 
         result = solve_conic_problem(problem, backend=backend,
-                                     warm_start=warm_start, **solver_settings)
-        return self.interpret_result(result, compile_time=compile_time)
+                                     warm_start=warm_start,
+                                     context=effective,
+                                     **solver_settings)
+        return self.interpret_result(result, compile_time=compile_time,
+                                     context=effective)
 
     def interpret_result(self, result: SolverResult, compile_time: float = 0.0,
-                         with_certificates: bool = True) -> SOSSolution:
+                         with_certificates: bool = True,
+                         context: Optional[SolveContext] = None) -> SOSSolution:
         """Turn a raw conic :class:`SolverResult` into an :class:`SOSSolution`.
 
         Used by :meth:`solve` and by the parametric-solve layer, where the
@@ -573,9 +609,10 @@ class SOSProgram:
         ``with_certificates=False`` skips the Gram-certificate extraction —
         appropriate when the bound problem's numeric expression differs from
         this template's, so reconstruction errors would be computed against
-        the wrong right-hand sides.
+        the wrong right-hand sides.  ``context`` governs the (memoised)
+        compile accounting, as in :meth:`compile`.
         """
-        builder, var_location, sos_blocks = self.compile()
+        builder, var_location, sos_blocks = self.compile(context=context)
 
         assignment: Dict[DecisionVariable, float] = {}
         certificates: Dict[str, SOSCertificate] = {}

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
-    ProjectionGrid,
     StageTimer,
     project_sublevel_set,
     project_union,

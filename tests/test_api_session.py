@@ -1,0 +1,308 @@
+"""Session isolation tests for the ``repro.api`` public facade.
+
+The acceptance property of the context-object API: two sessions in one
+process — distinct caches, distinct Gram-cone relaxations — verify Van der
+Pol *concurrently* through a thread pool and produce counters, cache stats
+and reports identical to their serial runs, with zero cross-session counter
+or cache leakage.  Plus: thread-safe counter increments, deprecation of the
+module-global shims, and the ``--backend`` wiring.
+"""
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import (
+    SolveContext,
+    VerificationSession,
+    available_backends,
+    verify,
+)
+from repro.engine import EngineOptions, VerificationEngine
+from repro.polynomial import Polynomial, VariableVector, make_variables
+from repro.sdp import default_context, reset_solve_counters, set_solve_cache
+from repro.__main__ import build_parser
+
+
+def _tiny_solve(session, offset=1.0):
+    """Solve a one-constraint SOS feasibility program under ``session``."""
+    variables = VariableVector(make_variables("x", "y"))
+    x = Polynomial.from_variable(variables[0], variables)
+    y = Polynomial.from_variable(variables[1], variables)
+    program = session.program("tiny")
+    program.add_sos_constraint(x * x + 2.0 * y * y + offset, name="c")
+    return program.solve()
+
+
+def _canonical(report):
+    """Report payload with wall-clock (never bit-stable) zeroed out."""
+    payload = report.to_json_dict()
+    for entry in payload["timings"]:
+        entry["seconds"] = 0.0
+    payload["total_seconds"] = 0.0
+    payload["options"].pop("session", None)
+    return payload
+
+
+class TestSessionIsolation:
+    def test_counters_do_not_leak_between_sessions(self, tmp_path):
+        before = default_context().solve_counters()
+        a = VerificationSession(cache_dir=tmp_path / "a", name="A")
+        b = VerificationSession(cache_dir=tmp_path / "b", name="B")
+        assert _tiny_solve(a).is_success
+        assert a.solve_counters()["solved"] == 1
+        assert b.solve_counters()["solved"] == 0
+        assert a.compile_counters()["full"] == 1
+        assert b.compile_counters()["full"] == 0
+        # The process-default context never observed the session's work.
+        assert default_context().solve_counters() == before
+
+    def test_sessions_do_not_share_cache_entries(self, tmp_path):
+        a = VerificationSession(cache_dir=tmp_path / "a", name="A")
+        b = VerificationSession(cache_dir=tmp_path / "b", name="B")
+        _tiny_solve(a)
+        # The same program under B's distinct cache must really solve.
+        _tiny_solve(b)
+        assert b.solve_counters() == {"solved": 1, "cache_hit": 0,
+                                      "solved:psd": 1}
+        # ... while a replay under A's own cache is a pure hit.
+        _tiny_solve(a)
+        assert a.solve_counters()["cache_hit"] == 1
+
+    def test_counter_updates_are_thread_safe(self):
+        context = SolveContext(name="hammer")
+        threads, per_thread = 8, 2000
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                context.record_solve_event("solved", layout_kind="psd")
+                context.record_compile_event("full")
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            list(pool.map(lambda _: hammer(), range(threads)))
+        assert context.solve_counters()["solved"] == threads * per_thread
+        assert context.solve_counters()["solved:psd"] == threads * per_thread
+        assert context.compile_counters()["full"] == threads * per_thread
+
+    def test_per_call_context_override_governs_compile_too(self, tmp_path):
+        """solve(context=...) on a context-less program must count the compile
+        it triggers on the overriding context, not the process default."""
+        from repro.sos import SOSProgram
+
+        context = SolveContext(name="override")
+        variables = VariableVector(make_variables("x", "y"))
+        x = Polynomial.from_variable(variables[0], variables)
+        y = Polynomial.from_variable(variables[1], variables)
+        program = SOSProgram("no_context")       # deliberately context-less
+        program.add_sos_constraint(x * x + 3.0 * y * y + 1.0, name="c")
+        before = default_context().compile_counters()
+        assert program.solve(context=context).is_success
+        assert context.compile_counters()["full"] == 1
+        assert context.solve_counters()["solved"] == 1
+        assert default_context().compile_counters() == before
+
+    def test_verify_honours_explicit_options(self, tmp_path):
+        from repro.api import build_problem
+
+        options = build_problem("vanderpol").options
+        options.advection.time_step = 0.123      # marker echoed in the summary
+        session = VerificationSession(cache_dir=tmp_path / "opts")
+        report = verify("vanderpol", session=session, options=options)
+        assert report.options_summary["advection_step"] == 0.123
+        assert report.property_one.status.value == "verified"
+        # The caller's object stays reusable: the pipeline's scenario-specific
+        # defaults (domain box) must not leak back into it.
+        assert options.lyapunov.domain_boxes is None
+
+    def test_session_rng_is_one_continuing_stream(self):
+        session = VerificationSession(seed=7)
+        first = session.rng().uniform(size=4)
+        second = session.rng().uniform(size=4)
+        assert not (first == second).all()       # successive draws are fresh
+        replay = VerificationSession(seed=7)
+        assert (replay.rng().uniform(size=4) == first).all()  # deterministic
+
+    def test_certificate_cache_concurrent_eviction_safe(self, tmp_path):
+        """A shared cache with a tiny memory front must survive concurrent
+        get/put churn (eviction used to race and KeyError)."""
+        import numpy as np
+
+        from repro.engine import CertificateCache
+        from repro.sdp import SolverResult, SolverStatus
+
+        cache = CertificateCache(tmp_path / "shared", memory_entries=4)
+        result = SolverResult(status=SolverStatus.OPTIMAL,
+                              x=np.zeros(3), objective=0.0, iterations=1)
+        keys = [f"{i:064x}" for i in range(64)]
+
+        def churn(offset):
+            for i in range(200):
+                key = keys[(offset + i) % len(keys)]
+                cache.put(key, result)
+                assert cache.get(key) is not None
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(churn, range(8)))
+        assert cache.stats.writes == 8 * 200
+        assert cache.stats.hits == 8 * 200
+
+    def test_deprecated_global_shims_warn_but_work(self):
+        with pytest.warns(DeprecationWarning):
+            previous = set_solve_cache(None)
+        with pytest.warns(DeprecationWarning):
+            set_solve_cache(previous)
+        with pytest.warns(DeprecationWarning):
+            reset_solve_counters()
+        assert default_context().solve_counters()["solved"] == 0
+
+
+class TestSessionErgonomics:
+    def test_cache_dir_tilde_expanded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        session = VerificationSession(cache_dir="~/my-cache")
+        assert session.cache.root == tmp_path / "my-cache"
+
+    def test_verifier_honours_session_relaxation(self):
+        from repro.api import build_problem
+
+        problem = build_problem("vanderpol")
+        session = VerificationSession(relaxation="sdsos")
+        verifier = session.verifier(problem)
+        assert verifier.options.levelset.relaxation == "sdsos"
+        assert verifier.options.lyapunov.relaxation == "sdsos"
+        # The caller's own options object stays untouched.
+        assert problem.options.levelset.relaxation == "sos"
+        # An explicit options object wins verbatim.
+        explicit = session.verifier(problem, options=problem.options)
+        assert explicit.options is problem.options
+
+
+class TestBackendSelection:
+    def test_unknown_solver_setting_still_raises(self):
+        from repro.sdp import make_solver
+
+        with pytest.raises(TypeError, match="max_iters"):
+            make_solver("admm", max_iters=5)   # typo: real knob is max_iterations
+
+    def test_cross_backend_settings_are_filtered_not_fatal(self):
+        from repro.sdp import make_solver
+
+        solver = make_solver("projection", eps_rel=1e-4, max_iterations=50)
+        assert solver.settings.max_iterations == 50   # shared knob kept
+
+    def test_cache_key_ignores_settings_the_backend_drops(self, tmp_path):
+        first = VerificationSession(backend="projection",
+                                    cache_dir=tmp_path / "norm")
+        # eps_rel is an ADMM-only knob: projection drops it, so it must not
+        # differentiate the cache key.
+        _tiny_solve(first)  # populate via default settings path
+        second = VerificationSession(backend="projection", cache=first.cache)
+        program = second.program("tiny2")
+        variables = VariableVector(make_variables("x", "y"))
+        x = Polynomial.from_variable(variables[0], variables)
+        y = Polynomial.from_variable(variables[1], variables)
+        program.add_sos_constraint(x * x + 2.0 * y * y + 1.0, name="c")
+        program.solve(eps_rel=1e-4)
+        assert second.solve_counters() == {"solved": 0, "cache_hit": 1,
+                                           "cache_hit:psd": 1}
+
+    def test_cli_exposes_backend_flag(self):
+        args = build_parser().parse_args(
+            ["verify", "vanderpol", "--backend", "projection"])
+        assert args.backend == "projection"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["verify", "vanderpol", "--backend", "nonsense"])
+
+    def test_registered_backends_reachable(self):
+        assert {"admm", "projection"} <= set(available_backends())
+
+    def test_session_backend_drives_solves(self, tmp_path):
+        session = VerificationSession(backend="projection",
+                                      cache_dir=tmp_path / "proj")
+        solution = _tiny_solve(session)
+        assert solution.is_success
+        assert session.solve_counters()["solved"] == 1
+
+    def test_engine_records_backend_in_json_report(self, tmp_path):
+        engine = VerificationEngine(EngineOptions(
+            jobs=1, cache_dir=str(tmp_path / "cache"), backend="admm"))
+        report = engine.run(["vanderpol"])
+        payload = report.to_json_dict()
+        assert payload["engine"]["backend"] == "admm"
+        assert report.outcome("vanderpol").matches_expected
+        # An explicit "admm" keys the cache identically to the default, so
+        # a default-backend re-run replays it without solving.
+        warm = VerificationEngine(EngineOptions(
+            jobs=1, cache_dir=str(tmp_path / "cache"))).run(["vanderpol"])
+        assert warm.counters["solved"] == 0
+        assert warm.to_json_dict()["engine"]["backend"] == "admm"
+
+
+class TestConcurrentSessionsVanDerPol:
+    """Two sessions, distinct caches and relaxations, concurrent == serial."""
+
+    RELAXATIONS = ("sos", "sdsos")
+
+    def _run(self, tmp_path, tag, relaxation, concurrent_pool=None):
+        session = VerificationSession(
+            cache_dir=tmp_path / f"cache-{tag}-{relaxation}",
+            relaxation=relaxation, name=f"{tag}-{relaxation}")
+        report = verify("vanderpol", session=session)
+        return {
+            "counters": session.solve_counters(),
+            "compile": session.compile_counters(),
+            "cache": session.cache_stats(),
+            "report": _canonical(report),
+        }
+
+    @pytest.fixture(scope="class")
+    def serial_runs(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("serial")
+        return {relaxation: self._run(root, "serial", relaxation)
+                for relaxation in self.RELAXATIONS}
+
+    def test_serial_baselines_verified(self, serial_runs):
+        for relaxation, run in serial_runs.items():
+            assert run["report"]["property_one"]["status"] == "verified", relaxation
+            assert run["counters"]["solved"] > 0
+            assert run["counters"]["cache_hit"] == 0
+        # The two relaxations genuinely solved in different cones.
+        assert serial_runs["sos"]["counters"]["solved:psd"] > 0
+        assert "solved:psd" not in serial_runs["sdsos"]["counters"]
+        assert serial_runs["sdsos"]["counters"]["solved:sdd"] > 0
+
+    def test_concurrent_sessions_match_serial_exactly(self, serial_runs,
+                                                      tmp_path):
+        with ThreadPoolExecutor(max_workers=len(self.RELAXATIONS)) as pool:
+            futures = {
+                relaxation: pool.submit(self._run, tmp_path, "conc", relaxation)
+                for relaxation in self.RELAXATIONS
+            }
+            concurrent = {relaxation: future.result()
+                          for relaxation, future in futures.items()}
+        for relaxation in self.RELAXATIONS:
+            serial, conc = serial_runs[relaxation], concurrent[relaxation]
+            # Zero leakage: solve/compile counters and cache hit/miss/write
+            # stats match the serial run exactly.
+            assert conc["counters"] == serial["counters"], relaxation
+            assert conc["compile"] == serial["compile"], relaxation
+            assert conc["cache"] == serial["cache"], relaxation
+            # Bit-identical reports (modulo wall-clock).
+            assert json.dumps(conc["report"], sort_keys=True) == \
+                json.dumps(serial["report"], sort_keys=True), relaxation
+
+    def test_default_context_untouched_by_sessions(self, serial_runs):
+        # Everything above ran in sessions; the process-default counters must
+        # not have recorded any of it.  (Other test modules may have used the
+        # deprecated global API, so compare against a reset snapshot.)
+        counters = default_context().solve_counters()
+        total_session_solves = sum(run["counters"]["solved"]
+                                   for run in serial_runs.values())
+        assert total_session_solves > 0
+        assert counters.get("solved", 0) + counters.get("cache_hit", 0) \
+            < total_session_solves

@@ -26,7 +26,6 @@ from repro.sdp import (
     project_onto_cone,
     project_psd_svec,
     smat,
-    svec,
     svec_dim,
     unpack_warm_start,
 )

@@ -8,8 +8,6 @@ from repro.core import (
     AttractiveInvariant,
     EscapeCertificateSynthesizer,
     EscapeOptions,
-    InevitabilityOptions,
-    InevitabilityVerifier,
     LevelSetMaximizer,
     LevelSetOptions,
     LevelSetAdvector,

@@ -6,7 +6,6 @@ import pytest
 from repro.polynomial import (
     DecisionVariable,
     LinExpr,
-    Monomial,
     ParametricPolynomial,
     Polynomial,
     VariableVector,

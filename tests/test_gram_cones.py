@@ -19,7 +19,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.polynomial import Polynomial, VariableVector, make_variables
 from repro.sdp import (
-    ConeDims,
     ConicProblemBuilder,
     cone_for_relaxation,
     make_gram_block,

@@ -1,7 +1,6 @@
 """Integration tests: the full verification pipeline on a fast toy hybrid system,
 and consistency between the SOS machinery and the PLL models."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -21,7 +21,6 @@ from repro.pll import (
     rate_constant_intervals,
     verification_scaling,
 )
-from repro.utils import Interval
 
 
 class TestParameters:

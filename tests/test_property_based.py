@@ -4,7 +4,6 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.polynomial import (
-    Monomial,
     Polynomial,
     VariableVector,
     make_variables,

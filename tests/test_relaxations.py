@@ -7,9 +7,7 @@ The expensive pll3 end-to-end ``auto`` acceptance run lives in
 """
 
 import json
-from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.__main__ import main as cli_main

@@ -9,7 +9,6 @@ from repro.sdp import (
     AlternatingProjectionSolver,
     BatchADMMSolver,
     ConeDims,
-    ConicProblem,
     ConicProblemBuilder,
     SolverResult,
     SolverStatus,

@@ -1,6 +1,5 @@
 """Unit tests for the SOS programming layer."""
 
-import numpy as np
 import pytest
 
 from repro.polynomial import Polynomial, VariableVector, make_variables
