@@ -87,13 +87,16 @@ def cmd_verify(args: argparse.Namespace) -> int:
         seed=args.seed,
         relaxation=args.relaxation,
         backend=args.backend,
+        array_backend=args.array_backend,
     )
     engine = VerificationEngine(options)
     relax_note = f", relaxation={options.relaxation}" if options.relaxation else ""
     backend_note = f", backend={options.backend}" if options.backend else ""
+    array_note = f", array-backend={options.array_backend}" \
+        if options.array_backend else ""
     print(f"verifying {', '.join(scenarios)} "
           f"(jobs={options.jobs}, cache={'on' if options.use_cache else 'off'}"
-          f"{relax_note}{backend_note})")
+          f"{relax_note}{backend_note}{array_note})")
     report = engine.run(scenarios)
 
     for outcome in report.outcomes:
@@ -180,6 +183,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "default) or projection (alternating "
                                "projections); recorded in the JSON report "
                                "and part of the certificate-cache key")
+    p_verify.add_argument("--array-backend", default=None,
+                          choices=["auto", "numpy", "cupy", "torch"],
+                          help="array namespace of the solver hot loops: "
+                               "numpy (reference), cupy/torch (GPU tensor "
+                               "adapters, used when importable) or auto "
+                               "(accelerator when usable, else numpy); "
+                               "default: the solver's own auto resolution")
     p_verify.add_argument("--relaxation", default=None,
                           choices=["dsos", "sdsos", "sos", "auto"],
                           help="Gram-cone relaxation of every certificate: "

@@ -55,6 +55,10 @@ class VerificationSession:
     solver_settings:
         Default keyword settings merged under every solve's explicit
         settings.
+    array_backend:
+        Array namespace of the solver hot loops (``"auto"``, ``"numpy"``,
+        ``"cupy"`` or ``"torch"``; see :mod:`repro.sdp.backend`).  ``None``
+        leaves the solver default (``"auto"``) in charge.
     cache / cache_dir:
         Certificate cache: either a ready cache object (``get``/``put``
         protocol) or a directory path for a persistent on-disk
@@ -82,7 +86,8 @@ class VerificationSession:
                  relaxation: Optional[str] = None,
                  seed: int = 0,
                  timing_hook: Optional[TimingHook] = None,
-                 name: str = "session"):
+                 name: str = "session",
+                 array_backend: Optional[str] = None):
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache= or cache_dir=, not both")
         if cache is None and cache_dir is not None:
@@ -95,7 +100,8 @@ class VerificationSession:
         self.name = name
         self.context = SolveContext(backend=backend,
                                     solver_settings=solver_settings,
-                                    cache=cache, name=name)
+                                    cache=cache, name=name,
+                                    array_backend=array_backend)
         self.relaxation = relaxation
         self.seed = int(seed)
         self.timing_hook = timing_hook
@@ -108,6 +114,11 @@ class VerificationSession:
     def backend(self) -> Union[str, object, None]:
         """The session's default solver backend (``None`` = registry default)."""
         return self.context.backend
+
+    @property
+    def array_backend(self) -> Optional[str]:
+        """The session's array-namespace override (``None`` = solver default)."""
+        return self.context.array_backend
 
     @property
     def cache(self) -> Optional[object]:

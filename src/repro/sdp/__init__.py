@@ -4,6 +4,13 @@ Standard form: ``minimize c^T x  s.t.  A x = b,  x in K`` with
 ``K = R^free x R_+^nonneg x PSD blocks`` (svec coordinates).
 """
 
+from .backend import (
+    ARRAY_BACKENDS,
+    ArrayBackend,
+    BackendUnavailableError,
+    available_array_backends,
+    resolve_array_backend,
+)
 from .cones import (
     ConeDims,
     cone_violation,
@@ -29,7 +36,8 @@ from .gramcone import (
 from .context import SolveContext, default_context
 from .problem import ConicProblem, ConicProblemBuilder, VariableBlock
 from .result import SolveHistory, SolverResult, SolverStatus
-from .scaling import ScalingData, drop_zero_rows, equilibrate, presolve, row_inf_norms
+from .scaling import (ScalingData, column_inf_norms, drop_zero_rows,
+                      equilibrate, presolve, row_inf_norms)
 from .admm import ADMMConicSolver, ADMMSettings, WarmStart, unpack_warm_start
 from .batch import BatchADMMSolver
 from .projection import AlternatingProjectionSolver, ProjectionSettings
@@ -49,6 +57,11 @@ from .solver import (
 )
 
 __all__ = [
+    "ARRAY_BACKENDS",
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "available_array_backends",
+    "resolve_array_backend",
     "ConeDims",
     "svec",
     "smat",
@@ -80,6 +93,7 @@ __all__ = [
     "drop_zero_rows",
     "presolve",
     "row_inf_norms",
+    "column_inf_norms",
     "ADMMConicSolver",
     "ADMMSettings",
     "WarmStart",

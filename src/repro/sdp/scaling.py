@@ -52,6 +52,22 @@ def row_inf_norms(A: sp.spmatrix) -> np.ndarray:
     return norms
 
 
+def column_inf_norms(A: sp.spmatrix) -> np.ndarray:
+    """Per-column infinity norms of a sparse matrix, straight off CSR data.
+
+    The column counterpart of :func:`row_inf_norms`: a single unbuffered
+    ``np.maximum.at`` scatter over ``(|data|, indices)``.  No CSC conversion,
+    and — like every norm helper in this module — no dense ``(m, n)``
+    materialisation, which matters once SOS coefficient matching produces
+    thousands of equality rows.
+    """
+    A = A if sp.isspmatrix_csr(A) else A.tocsr()
+    norms = np.zeros(A.shape[1])
+    if A.nnz:
+        np.maximum.at(norms, A.indices, np.abs(A.data))
+    return norms
+
+
 def _check_zero_rows(zero_rows: np.ndarray, b: np.ndarray) -> None:
     bad = [int(r) for r in zero_rows if abs(b[r]) > 1e-12]
     if bad:

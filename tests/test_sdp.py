@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.sdp import (
     ADMMConicSolver,
@@ -9,10 +10,12 @@ from repro.sdp import (
     AlternatingProjectionSolver,
     BatchADMMSolver,
     ConeDims,
+    ConicProblem,
     ConicProblemBuilder,
     SolverResult,
     SolverStatus,
     available_backends,
+    column_inf_norms,
     cone_violation,
     drop_zero_rows,
     equilibrate,
@@ -219,6 +222,66 @@ class TestPresolve:
         builder.add_equality_row({}, rhs=1.0)
         with pytest.raises(ValueError):
             presolve(builder.build())
+
+    def test_column_inf_norms_matches_dense_reference(self):
+        rng = np.random.default_rng(7)
+        A = sp.random(40, 25, density=0.15, random_state=rng, format="csr")
+        A.data -= 0.5  # exercise the abs()
+        dense = np.abs(A.toarray()).max(axis=0)
+        np.testing.assert_allclose(column_inf_norms(A), dense)
+        # all-zero columns (and an empty matrix) report zero, not garbage
+        empty = sp.csr_matrix((4, 3))
+        np.testing.assert_allclose(column_inf_norms(empty), np.zeros(3))
+
+    def test_presolve_never_densifies_sparse_blocks(self):
+        """Presolve of a 2000-row problem must not allocate a dense (m, n) array.
+
+        Row/column norms are computed straight off the CSR data array;
+        a regression to ``abs(A).max(axis=...)``-style dense detours (or any
+        ``toarray``/``todense`` round-trip) would allocate m*n doubles.  We
+        forbid the round-trip outright and cap the peak allocation far below
+        the dense footprint.
+        """
+        import tracemalloc
+
+        m, n = 2000, 600
+        rng = np.random.default_rng(3)
+        extra = sp.random(m, n, density=0.005, random_state=rng, format="coo")
+        # one guaranteed entry per row, then blank a few rows so the
+        # drop-zero-rows path runs too
+        rows = np.concatenate([np.arange(m), extra.row])
+        cols = np.concatenate([np.arange(m) % n, extra.col])
+        data = np.concatenate([1.0 + rng.random(m), extra.data])
+        zero = np.isin(np.arange(m), [17, 401, 1999])
+        live = ~zero[rows]
+        A = sp.csr_matrix((data[live], (rows[live], cols[live])), shape=(m, n))
+        b = rng.standard_normal(m)
+        b[zero] = 0.0
+        problem = ConicProblem(c=rng.standard_normal(n), A=A, b=b,
+                               dims=ConeDims(free=n))
+
+        def _forbidden(self, *args, **kwargs):  # pragma: no cover - trap
+            raise AssertionError("presolve densified a sparse block")
+
+        dense_bytes = m * n * 8
+        matrix_cls = type(A)
+        originals = {name: getattr(matrix_cls, name)
+                     for name in ("toarray", "todense")}
+        try:
+            for name in originals:
+                setattr(matrix_cls, name, _forbidden)
+            tracemalloc.start()
+            presolved, scaling = presolve(problem)
+            norms = column_inf_norms(presolved.A)
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        finally:
+            for name, func in originals.items():
+                setattr(matrix_cls, name, func)
+        assert presolved.num_constraints == m - 3
+        assert scaling is not None
+        assert norms.shape == (n,)
+        assert peak < dense_bytes / 4
 
 
 class TestUnpackWarmStart:
