@@ -77,6 +77,12 @@ class VerificationSession:
     timing_hook:
         Optional callable ``(step, seconds, detail)`` invoked for every
         pipeline step timed during :meth:`verify`.
+    fleet:
+        ``"host:port"`` of a running fleet master (see :mod:`repro.fleet`).
+        When set, :meth:`submit` sends scenarios to that fleet — executed by
+        its workers against its shared certificate cache — instead of
+        solving anything in this process.  :meth:`verify` stays in-process
+        regardless; targeting a fleet is always the explicit call.
     """
 
     def __init__(self, *, backend: Union[str, object, None] = None,
@@ -87,7 +93,8 @@ class VerificationSession:
                  seed: int = 0,
                  timing_hook: Optional[TimingHook] = None,
                  name: str = "session",
-                 array_backend: Optional[str] = None):
+                 array_backend: Optional[str] = None,
+                 fleet: Optional[str] = None):
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache= or cache_dir=, not both")
         if cache is None and cache_dir is not None:
@@ -105,6 +112,7 @@ class VerificationSession:
         self.relaxation = relaxation
         self.seed = int(seed)
         self.timing_hook = timing_hook
+        self.fleet = fleet
         self._rng = np.random.default_rng(self.seed)
 
     # ------------------------------------------------------------------
@@ -210,6 +218,41 @@ class VerificationSession:
                ) -> VerificationReport:
         """Verify a registered scenario under this session (see :func:`verify`)."""
         return verify(scenario, session=self, options=options)
+
+    def submit(self, scenarios: Union[str, list, tuple],
+               priority: Optional[int] = None,
+               watch: Optional[Callable[[Dict[str, object]], None]] = None,
+               fleet: Optional[str] = None) -> Dict[str, object]:
+        """Run scenarios on a fleet master; returns the engine-report JSON.
+
+        The fleet executes the jobs on its workers against its shared
+        certificate cache, applying this session's relaxation, backend,
+        array-backend and seed configuration to every job.  ``fleet``
+        overrides the address the session was constructed with; ``watch``
+        receives one event dict per job transition as it streams in.
+        Blocks until the aggregate report arrives.
+        """
+        address = fleet or self.fleet
+        if address is None:
+            raise ValueError(
+                "no fleet configured: pass fleet='host:port' here or to "
+                "VerificationSession(fleet=...)")
+        from ..fleet import PRIORITY_INTERACTIVE, FleetClient
+
+        backend = self.backend if isinstance(self.backend, str) else None
+        options = {
+            "seed": self.seed,
+            "relaxation": self.relaxation,
+            "backend": backend,
+            "array_backend": self.array_backend,
+        }
+        client = FleetClient(address)
+        done = client.submit(
+            scenarios=[scenarios] if isinstance(scenarios, str)
+            else list(scenarios),
+            priority=PRIORITY_INTERACTIVE if priority is None else priority,
+            watch=watch is not None, on_event=watch, options=options)
+        return done["report"]
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

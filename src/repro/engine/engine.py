@@ -89,6 +89,15 @@ class EngineOptions:
     # ("auto").  An explicit choice is recorded in the JSON report and, like
     # backend, enters the cache key through the solver settings.
     array_backend: Optional[str] = None
+    # "host:port" of a fleet master (see repro.fleet).  When set, jobs are
+    # executed by the fleet's workers through a DistributedExecutor instead
+    # of a local process pool; `jobs` then bounds how many jobs this engine
+    # keeps in flight on the fleet at once, and per-job timeouts are
+    # enforced by the master's scheduler.
+    fleet: Optional[str] = None
+    # Queue priority of fleet-executed jobs (higher preempts lower at the
+    # master's queue level; interactive `repro submit` traffic runs at 10).
+    fleet_priority: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -223,17 +232,27 @@ def _step_falsification(problem, certificates_data: Dict[str, object],
     return "ok", "no claim violated by simulation", data
 
 
-def _execute_job(payload: Dict[str, object]) -> Dict[str, object]:
+def _execute_job(payload: Dict[str, object],
+                 cache_override: Optional[object] = None,
+                 override_cache: bool = False) -> Dict[str, object]:
     """Worker entry point: hermetic execution of one job from plain data.
 
     Every job runs under its own :class:`~repro.sdp.context.SolveContext`
     (cache + backend + counters) instead of mutating process-global solver
     state, so inline jobs, pool workers and any other pipelines in the same
     process are fully isolated from each other.
+
+    ``override_cache=True`` substitutes ``cache_override`` for the cache the
+    payload describes — fleet workers pass a
+    :class:`~repro.engine.cache.RemoteCacheClient` here so their solves land
+    in the master's store instead of a path that only exists on the master.
     """
     start = time.perf_counter()
-    cache_dir = payload.get("cache_dir")
-    cache = CertificateCache(cache_dir) if payload.get("use_cache") else None
+    if override_cache:
+        cache = cache_override
+    else:
+        cache_dir = payload.get("cache_dir")
+        cache = CertificateCache(cache_dir) if payload.get("use_cache") else None
     context = SolveContext(backend=payload.get("backend"), cache=cache,
                            name=f"job:{payload.get('scenario')}/{payload.get('step')}",
                            array_backend=payload.get("array_backend"))
@@ -689,6 +708,54 @@ class _InlineExecutor:
         pass
 
 
+class DistributedExecutor:
+    """Run engine jobs on a fleet master instead of a local pool.
+
+    Presents the same ``submit(fn, payload) -> Future`` surface as
+    :class:`concurrent.futures` executors, but ``fn`` is ignored: the payload
+    travels to the master's scheduler, which dispatches it to whichever
+    worker pulls it first (or answers it straight from the job memo).  Each
+    submission occupies one daemon thread blocked on the master's reply, so
+    ``EngineOptions.jobs`` bounds this engine's inflight jobs on the fleet.
+    Per-job timeouts are enforced by the master's deadline reaper, not here.
+    """
+
+    def __init__(self, address: str, priority: int = 0,
+                 timeout: Optional[float] = None):
+        from ..fleet.client import FleetClient
+
+        self.client = FleetClient(address)
+        self.priority = int(priority)
+        self.timeout = timeout
+
+    def submit(self, fn, payload) -> Future:  # noqa: ARG002 - fleet executes
+        future: Future = Future()
+        label = f"{payload.get('scenario')}/{payload.get('step')}" + \
+            (f":{payload['mode']}" if payload.get("mode") else "")
+
+        def _dispatch() -> None:
+            try:
+                outcome = self.client.exec_job(
+                    payload, priority=self.priority,
+                    timeout=self.timeout, label=label)
+            except BaseException as exc:  # noqa: BLE001 - surfaced via future
+                if not future.set_running_or_notify_cancel():
+                    return
+                future.set_exception(exc)
+                return
+            if future.set_running_or_notify_cancel():
+                future.set_result(outcome)
+
+        import threading
+
+        threading.Thread(target=_dispatch, daemon=True,
+                         name=f"fleet-dispatch-{label}").start()
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:  # noqa: ARG002
+        pass
+
+
 class VerificationEngine:
     """Expand scenarios into job DAGs and run them to completion."""
 
@@ -712,13 +779,18 @@ class VerificationEngine:
             problem = _prepared_problem(name, options.relaxation)
             drivers.append(_ScenarioDriver(name, problem, options))
 
-        if options.jobs > 1:
+        if options.fleet:
+            executor = DistributedExecutor(options.fleet,
+                                           priority=options.fleet_priority,
+                                           timeout=options.job_timeout)
+        elif options.jobs > 1:
             executor = ProcessPoolExecutor(max_workers=options.jobs)
         else:
             executor = _InlineExecutor()
         active: Dict[Future, Tuple[_ScenarioDriver, JobSpec, float]] = {}
         ready_queue: List[Tuple[_ScenarioDriver, JobSpec, Dict[str, object]]] = []
         timed_out_running = False
+        interrupted = False
         zombie_workers = 0   # workers stuck in a timed-out, uncancellable job
         try:
             while True:
@@ -774,7 +846,10 @@ class VerificationEngine:
                     driver.record(spec, outcome)
                     LOGGER.info("finished %s: %s", spec.job_id,
                                 driver.results[spec.job_id].status.value)
-                if options.job_timeout is not None:
+                # In fleet mode the master's deadline reaper owns the per-job
+                # timeout; resolving it here too would race the authoritative
+                # outcome travelling back over the wire.
+                if options.job_timeout is not None and not options.fleet:
                     for future in list(active):
                         driver, spec, started = active[future]
                         if now - started > options.job_timeout:
@@ -788,15 +863,32 @@ class VerificationEngine:
                             active.pop(future)
                             driver.record_timeout(spec, now - started)
                             LOGGER.warning("job %s timed out", spec.job_id)
+        except KeyboardInterrupt:
+            # Ctrl-C mid-run: resolve inflight jobs as errors and fall
+            # through to report assembly — job_results() marks everything
+            # the run never settled as SKIPPED, so the partial report is
+            # well-formed and the pool teardown below reaps the children
+            # instead of leaving them orphaned behind a dead parent.
+            interrupted = True
+            now = time.perf_counter()
+            for future, (driver, spec, started) in list(active.items()):
+                future.cancel()
+                driver.record(spec, {
+                    "status": "error", "detail": "interrupted (Ctrl-C)",
+                    "seconds": now - started})
+            active.clear()
+            LOGGER.warning("run interrupted; returning partial report")
         finally:
             if isinstance(executor, ProcessPoolExecutor):
                 executor.shutdown(wait=False, cancel_futures=True)
             else:
                 executor.shutdown(wait=False)
-            if timed_out_running and isinstance(executor, ProcessPoolExecutor):
-                # Workers stuck in a timed-out solve would otherwise be
-                # joined by concurrent.futures' atexit hook, hanging the CLI
-                # at interpreter shutdown.
+            if (timed_out_running or interrupted) and \
+                    isinstance(executor, ProcessPoolExecutor):
+                # Workers stuck in a timed-out solve (or still mid-job when
+                # the user hit Ctrl-C) would otherwise be joined by
+                # concurrent.futures' atexit hook, hanging the CLI at
+                # interpreter shutdown — or survive it as orphans.
                 for process in list(getattr(executor, "_processes", {}).values()):
                     try:
                         process.terminate()

@@ -1,0 +1,59 @@
+"""``repro.fleet`` — the distributed master/worker verification service.
+
+A :class:`FleetMaster` (``python -m repro serve``) owns the prioritised job
+queue, expands scenario DAGs with the engine's own driver logic and fronts
+the shared certificate cache; :class:`FleetWorker`\\ s (``python -m repro
+worker --connect host:port``) pull hermetic jobs over a length-prefixed JSON
+socket protocol, execute them under per-job solve contexts and stream
+status and heartbeats back.  Worker death requeues jobs (bounded retries,
+poison quarantine); a warm job memo answers repeated submissions without
+dispatching anything, so a warm-cache resubmission performs zero SDP solves
+anywhere in the fleet.
+"""
+
+from .client import FleetClient, render_status_text
+from .master import FleetMaster
+from .metrics import engine_metrics, fleet_metrics, render_prometheus
+from .protocol import (
+    DEFAULT_PORT,
+    Connection,
+    ProtocolError,
+    SchemaVersionError,
+    WIRE_VERSION,
+    format_address,
+    parse_address,
+    recv_message,
+    send_message,
+)
+from .scheduler import (
+    PRIORITY_BACKGROUND,
+    PRIORITY_INTERACTIVE,
+    FleetScheduler,
+    QueuedJob,
+)
+from .worker import FleetWorker, WorkerKilled, run_worker
+
+__all__ = [
+    "FleetMaster",
+    "FleetWorker",
+    "FleetClient",
+    "FleetScheduler",
+    "QueuedJob",
+    "WorkerKilled",
+    "run_worker",
+    "render_status_text",
+    "engine_metrics",
+    "fleet_metrics",
+    "render_prometheus",
+    "Connection",
+    "ProtocolError",
+    "SchemaVersionError",
+    "WIRE_VERSION",
+    "DEFAULT_PORT",
+    "parse_address",
+    "format_address",
+    "send_message",
+    "recv_message",
+    "PRIORITY_INTERACTIVE",
+    "PRIORITY_BACKGROUND",
+]

@@ -1,0 +1,127 @@
+"""Client side of the fleet protocol: ``submit``, ``fleet-status``, jobs.
+
+:class:`FleetClient` is the thin, connection-per-request client used by the
+``repro submit`` / ``repro fleet-status`` CLI, by
+:class:`repro.api.VerificationSession` instances that target a fleet, and by
+the engine's :class:`~repro.engine.engine.DistributedExecutor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .protocol import Connection, ProtocolError, parse_address
+from .scheduler import PRIORITY_INTERACTIVE
+
+#: Signature of a submit watch callback: called once per streamed event.
+EventCallback = Callable[[Dict[str, object]], None]
+
+
+class FleetClient:
+    """Talk to a running fleet master."""
+
+    def __init__(self, address: Union[str, Tuple[str, int]],
+                 connect_timeout: float = 10.0):
+        self.address = parse_address(address) if isinstance(address, str) \
+            else tuple(address)
+        self.connect_timeout = connect_timeout
+
+    def _connect(self) -> Connection:
+        conn = Connection.connect(self.address, timeout=self.connect_timeout)
+        # Submissions block for as long as the fleet needs; reads must not
+        # time out underneath a long solve.
+        conn.settimeout(None)
+        return conn
+
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        with self._connect() as conn:
+            return conn.request({"type": "ping"})
+
+    def status(self) -> Dict[str, object]:
+        """The master's ``fleet-status`` snapshot (queue, workers, caches)."""
+        with self._connect() as conn:
+            return conn.request({"type": "fleet_status"})
+
+    # ------------------------------------------------------------------
+    def submit(self, scenarios: Sequence[str],
+               priority: int = PRIORITY_INTERACTIVE,
+               watch: bool = False,
+               on_event: Optional[EventCallback] = None,
+               options: Optional[Dict[str, object]] = None
+               ) -> Dict[str, object]:
+        """Submit scenarios and block until the aggregate report is ready.
+
+        With ``watch`` (and an ``on_event`` callback) every per-job status
+        transition streamed by the master is surfaced as it happens.
+        Returns the final frame: ``{"event": "done", "ok": bool,
+        "report": <engine report JSON>}``.
+        """
+        message = {
+            "type": "submit",
+            "scenarios": list(scenarios),
+            "priority": int(priority),
+            "watch": bool(watch and on_event is not None),
+            "options": dict(options or {}),
+        }
+        with self._connect() as conn:
+            conn.send(message)
+            while True:
+                frame = conn.recv()
+                if frame is None:
+                    raise ProtocolError(
+                        "master closed the connection before the report")
+                if frame.get("error"):
+                    raise ProtocolError(f"master reported: {frame['error']}")
+                if frame.get("event") == "done":
+                    return frame
+                if on_event is not None:
+                    on_event(frame)
+
+    # ------------------------------------------------------------------
+    def exec_job(self, payload: Dict[str, object], priority: int = 0,
+                 timeout: Optional[float] = None,
+                 label: str = "exec") -> Dict[str, object]:
+        """Run one engine job payload on the fleet; returns its outcome."""
+        with self._connect() as conn:
+            response = conn.request({"type": "exec_job", "payload": payload,
+                                     "priority": int(priority),
+                                     "timeout": timeout, "label": label})
+        outcome = response.get("outcome")
+        if not isinstance(outcome, dict):
+            raise ProtocolError("master returned no job outcome")
+        return outcome
+
+
+def render_status_text(status: Dict[str, object]) -> List[str]:
+    """Human-readable ``fleet-status`` lines (the CLI's text mode)."""
+    queue = status.get("queue", {})
+    jobs = status.get("jobs", {})
+    cache = status.get("cache", {})
+    hits = int(cache.get("hits", 0))
+    lookups = hits + int(cache.get("misses", 0))
+    lines = [
+        f"Fleet master at {status.get('address')} "
+        f"(up {status.get('uptime_seconds', 0):.0f}s)",
+        f"  queue: depth={queue.get('depth', 0)} "
+        f"inflight={len(queue.get('inflight', []))} "
+        f"by_priority={queue.get('by_priority', {})}",
+        f"  jobs: dispatched={jobs.get('dispatched', 0)} "
+        f"completed={jobs.get('completed', 0)} "
+        f"requeued={jobs.get('requeued', 0)} "
+        f"quarantined={jobs.get('quarantined', 0)} "
+        f"timeouts={jobs.get('timeouts', 0)} "
+        f"memo_hits={jobs.get('memo_hits', 0)}",
+        f"  certificate cache: hits={hits} misses={cache.get('misses', 0)} "
+        f"writes={cache.get('writes', 0)} "
+        f"hit_rate={(hits / lookups) if lookups else 0.0:.2f}",
+    ]
+    workers = status.get("workers", [])
+    lines.append(f"  workers ({len(workers)}):")
+    for worker in workers:
+        inflight = ", ".join(worker.get("inflight", [])) or "idle"
+        lines.append(
+            f"    {worker.get('id')}: {inflight} "
+            f"(done={worker.get('jobs_done', 0)}, "
+            f"heartbeat {worker.get('last_heartbeat_age', 0):.1f}s ago)")
+    return lines

@@ -1,0 +1,139 @@
+"""Structured metrics snapshots (JSON and Prometheus-style text).
+
+The counters have always existed — :class:`~repro.sdp.context.SolveContext`
+tracks solve/compile counts per cone layout, :class:`~repro.engine.cache.CacheStats`
+tracks hit rates, reports track per-stage timings — this module exports them
+as one structured snapshot consumed by ``repro report --metrics`` and
+``repro fleet-status --json/--prometheus``, so "fast as the hardware allows"
+is measured, not asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Version tag of the metrics snapshot layout.
+METRICS_SCHEMA = 1
+
+
+def _split_counters(counters: Dict[str, int]) -> Dict[str, object]:
+    """Split ``{"solved": n, "solved:psd": k, ...}`` into totals + layouts."""
+    out: Dict[str, object] = {}
+    for event in ("solved", "cache_hit"):
+        by_layout = {key.split(":", 1)[1]: int(value)
+                     for key, value in counters.items()
+                     if key.startswith(f"{event}:")}
+        out[event] = {"total": int(counters.get(event, 0)),
+                      "by_layout": by_layout}
+    return out
+
+
+def _cache_section(stats: Dict[str, int]) -> Dict[str, object]:
+    hits = int(stats.get("hits", 0))
+    misses = int(stats.get("misses", 0))
+    lookups = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "writes": int(stats.get("writes", 0)),
+        "corrupted": int(stats.get("corrupted", 0)),
+        "hit_rate": (hits / lookups) if lookups else 0.0,
+    }
+
+
+def engine_metrics(payload: Dict[str, object]) -> Dict[str, object]:
+    """Metrics snapshot of one engine/fleet report's JSON payload."""
+    engine = payload.get("engine", {})
+    stages: Dict[str, float] = {}
+    jobs_by_status: Dict[str, int] = {}
+    for scenario in payload.get("scenarios", []):
+        for timing in scenario.get("report", {}).get("timings", []):
+            step = str(timing.get("step"))
+            stages[step] = stages.get(step, 0.0) + float(timing.get("seconds", 0.0))
+        for job in scenario.get("jobs", []):
+            status = str(job.get("status"))
+            jobs_by_status[status] = jobs_by_status.get(status, 0) + 1
+    return {
+        "schema": METRICS_SCHEMA,
+        "solves": _split_counters(engine.get("counters", {})),
+        "cache": _cache_section(engine.get("cache_stats", {})),
+        "stages": stages,
+        "jobs": {"total": sum(jobs_by_status.values()),
+                 "by_status": jobs_by_status},
+        "array_backends": dict(engine.get("array_backend_stats", {})),
+        "wall_seconds": float(engine.get("wall_seconds", 0.0)),
+    }
+
+
+def fleet_metrics(status: Dict[str, object]) -> Dict[str, object]:
+    """Metrics snapshot of one ``fleet-status`` payload."""
+    queue = status.get("queue", {})
+    jobs = status.get("jobs", {})
+    return {
+        "schema": METRICS_SCHEMA,
+        "queue": {"depth": int(queue.get("depth", 0)),
+                  "inflight": len(queue.get("inflight", []))},
+        "workers": {"connected": len(status.get("workers", []))},
+        "jobs": {key: int(value) for key, value in jobs.items()},
+        "cache": _cache_section(status.get("cache", {})),
+        "solves": _split_counters(status.get("counters", {})),
+    }
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text exposition
+# ----------------------------------------------------------------------
+def _samples(metrics: Dict[str, object]) -> List[Tuple[str, Optional[Dict[str, str]], float]]:
+    samples: List[Tuple[str, Optional[Dict[str, str]], float]] = []
+    solves = metrics.get("solves", {})
+    for event, prom in (("solved", "solves"), ("cache_hit", "cache_hits")):
+        section = solves.get(event)
+        if not isinstance(section, dict):
+            continue
+        samples.append((f"{prom}_total", None, section.get("total", 0)))
+        for layout, count in sorted(section.get("by_layout", {}).items()):
+            samples.append((f"{prom}_total", {"layout": layout}, count))
+    cache = metrics.get("cache")
+    if isinstance(cache, dict):
+        for key in ("hits", "misses", "writes", "corrupted"):
+            samples.append((f"certificate_cache_{key}_total", None, cache.get(key, 0)))
+        samples.append(("certificate_cache_hit_rate", None, cache.get("hit_rate", 0.0)))
+    for step, seconds in sorted(dict(metrics.get("stages", {})).items()):
+        samples.append(("stage_seconds_total", {"step": step}, seconds))
+    jobs = metrics.get("jobs", {})
+    if isinstance(jobs, dict):
+        for status, count in sorted(dict(jobs.get("by_status", {})).items()):
+            samples.append(("jobs_total", {"status": status}, count))
+        for key in ("dispatched", "completed", "requeued", "quarantined",
+                    "timeouts", "memo_hits", "enqueued"):
+            if key in jobs:
+                samples.append((f"jobs_{key}_total", None, jobs[key]))
+    queue = metrics.get("queue")
+    if isinstance(queue, dict):
+        samples.append(("queue_depth", None, queue.get("depth", 0)))
+        samples.append(("jobs_inflight", None, queue.get("inflight", 0)))
+    workers = metrics.get("workers")
+    if isinstance(workers, dict):
+        samples.append(("workers_connected", None, workers.get("connected", 0)))
+    for name, entry in sorted(dict(metrics.get("array_backends", {})).items()):
+        samples.append(("solver_iterations_per_second",
+                        {"array_backend": name},
+                        entry.get("iterations_per_second", 0.0)))
+    if "wall_seconds" in metrics:
+        samples.append(("wall_seconds", None, metrics["wall_seconds"]))
+    return samples
+
+
+def render_prometheus(metrics: Dict[str, object], prefix: str = "repro") -> str:
+    """Render a metrics snapshot as Prometheus text-exposition lines."""
+    lines: List[str] = []
+    for name, labels, value in _samples(metrics):
+        label_text = ""
+        if labels:
+            inner = ",".join(f'{key}="{val}"'
+                             for key, val in sorted(labels.items()))
+            label_text = "{" + inner + "}"
+        number = float(value)
+        rendered = repr(int(number)) if number == int(number) else repr(number)
+        lines.append(f"{prefix}_{name}{label_text} {rendered}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,188 @@
+"""Length-prefixed JSON wire protocol of the verification fleet.
+
+Every exchange between fleet nodes (master, workers, ``repro submit``
+clients) is a sequence of *frames*: a 4-byte big-endian length followed by a
+UTF-8 JSON document ``{"v": <wire version>, "m": <message>}``.  The payload
+is always plain JSON — polynomials, solver results and job outcomes cross
+the wire through the explicit codecs in :mod:`repro.engine.serialize`, never
+as pickles, so a hostile or merely mismatched peer can at worst send
+malformed data, not code.
+
+A frame whose ``"v"`` tag differs from :data:`WIRE_VERSION` is rejected with
+:class:`SchemaVersionError` (a clear error, not a ``KeyError`` three layers
+down), so mixed-version fleets fail fast at the first exchange.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Dict, Optional, Tuple
+
+#: Version tag stamped on (and required of) every frame.
+WIRE_VERSION = 1
+
+#: Upper bound on one frame; anything larger is a protocol violation (it
+#: would only happen on a corrupted stream and would otherwise trigger an
+#: absurd allocation).
+MAX_MESSAGE_BYTES = 256 * 1024 * 1024
+
+#: Default TCP port of ``python -m repro serve``.
+DEFAULT_PORT = 7348
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream violated the framing or JSON contract."""
+
+
+class SchemaVersionError(ProtocolError):
+    """The peer speaks a different wire schema version."""
+
+
+def parse_address(address: str, default_port: int = DEFAULT_PORT
+                  ) -> Tuple[str, int]:
+    """Parse ``"host:port"`` / ``"host"`` / ``":port"`` into a socket address."""
+    if not address:
+        return ("127.0.0.1", default_port)
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        return (address, default_port)
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError as exc:
+        raise ValueError(f"invalid fleet address {address!r}: "
+                         f"port {port!r} is not an integer") from exc
+
+
+def format_address(address: Tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on EOF before the first byte."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, message: Dict[str, object]) -> None:
+    """Send one framed message (thread-unsafe; callers serialise sends)."""
+    body = json.dumps({"v": WIRE_VERSION, "m": message},
+                      separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message of {len(body)} bytes exceeds the "
+                            f"{MAX_MESSAGE_BYTES}-byte frame limit")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, object]]:
+    """Receive one framed message; ``None`` on clean EOF between frames."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"incoming frame of {length} bytes exceeds the "
+                            f"{MAX_MESSAGE_BYTES}-byte frame limit")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    try:
+        frame = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(frame, dict) or "m" not in frame:
+        raise ProtocolError("frame is not a {'v': ..., 'm': ...} envelope")
+    version = frame.get("v")
+    if version != WIRE_VERSION:
+        raise SchemaVersionError(
+            f"peer speaks wire schema version {version!r}; this node only "
+            f"accepts version {WIRE_VERSION} — upgrade the older side")
+    message = frame["m"]
+    if not isinstance(message, dict):
+        raise ProtocolError("message payload must be a JSON object")
+    return message
+
+
+# ----------------------------------------------------------------------
+# Connection: a framed request/response channel
+# ----------------------------------------------------------------------
+class Connection:
+    """One framed TCP channel with serialised sends and receives.
+
+    A fleet connection carries strictly alternating request/response
+    exchanges (:meth:`request`) or a one-way inbound stream (:meth:`recv`);
+    the lock makes a shared connection safe to drive from multiple threads.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @classmethod
+    def connect(cls, address: Tuple[str, int],
+                timeout: Optional[float] = 10.0) -> "Connection":
+        sock = socket.create_connection(address, timeout=timeout)
+        # Interactive request/response traffic; Nagle only adds latency.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(sock)
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        self.sock.settimeout(timeout)
+
+    def send(self, message: Dict[str, object]) -> None:
+        with self._lock:
+            send_message(self.sock, message)
+
+    def recv(self) -> Optional[Dict[str, object]]:
+        return recv_message(self.sock)
+
+    def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Send one message and wait for its single-frame response."""
+        with self._lock:
+            send_message(self.sock, message)
+            response = recv_message(self.sock)
+        if response is None:
+            raise ProtocolError("peer closed the connection before replying")
+        if response.get("error"):
+            raise ProtocolError(f"peer reported: {response['error']}")
+        return response
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,311 @@
+"""Prioritised fleet job scheduler with requeue-on-death and quarantine.
+
+The scheduler is the master's single source of truth for work state.  Jobs
+enter through :meth:`FleetScheduler.enqueue` with a priority (interactive
+``repro submit`` traffic preempts background sweeps purely at queue level:
+higher priority pops first, FIFO within a priority), workers pull them with
+:meth:`next_job` (a blocking long-poll), and every terminal transition
+resolves the job's :class:`~concurrent.futures.Future`:
+
+* ``complete``        — a worker reported the outcome;
+* worker death        — the job is requeued with its attempt count bumped;
+  a job that has died on ``max_retries + 1`` distinct attempts is treated
+  as *poison* (it kills workers) and quarantined with an error outcome
+  instead of taking down the whole fleet one worker at a time;
+* deadline exceeded   — resolved as a timeout outcome (terminal, matching
+  the in-process engine's per-job timeout semantics).
+
+Worker death and stragglers are the *normal case* here, not an error path —
+the scheduler never blocks on a worker and requeued jobs re-enter the same
+priority lane they came from.
+
+The pending queue (payloads + priorities, which are plain JSON) can be
+persisted on shutdown and re-enqueued on the next start, so a drained
+master loses no accepted work.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..utils import get_logger
+
+LOGGER = get_logger("fleet.scheduler")
+
+#: Priority of interactive ``repro submit`` traffic.
+PRIORITY_INTERACTIVE = 10
+#: Priority of background sweep / ``verify --fleet`` traffic.
+PRIORITY_BACKGROUND = 0
+
+
+def _timeout_outcome(job: "QueuedJob", seconds: float) -> Dict[str, object]:
+    return {"status": "timeout", "seconds": seconds,
+            "detail": f"job exceeded {job.timeout:.1f}s fleet budget"}
+
+
+def _quarantine_outcome(job: "QueuedJob") -> Dict[str, object]:
+    return {"status": "error",
+            "detail": (f"poison job quarantined: worker died on each of "
+                       f"{job.attempts} attempt(s)")}
+
+
+@dataclass
+class QueuedJob:
+    """One schedulable payload and its fleet-side bookkeeping."""
+
+    key: str                      # unique within the master's lifetime
+    payload: Dict[str, object]    # plain-JSON engine job payload
+    priority: int = PRIORITY_BACKGROUND
+    label: str = ""               # human-readable (scenario/step:mode)
+    timeout: Optional[float] = None
+    attempts: int = 0             # dispatch attempts so far
+    future: Future = field(default_factory=Future)
+    worker_id: Optional[str] = None
+    started_at: Optional[float] = None
+
+    def describe(self) -> Dict[str, object]:
+        return {"key": self.key, "label": self.label,
+                "priority": self.priority, "attempts": self.attempts,
+                "worker": self.worker_id}
+
+
+class FleetScheduler:
+    """Thread-safe priority queue + inflight tracker of one fleet master."""
+
+    def __init__(self, max_retries: int = 2,
+                 default_timeout: Optional[float] = None):
+        self.max_retries = max(0, int(max_retries))
+        self.default_timeout = default_timeout
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._heap: List[tuple] = []   # (-priority, seq, key)
+        self._pending: Dict[str, QueuedJob] = {}
+        self._inflight: Dict[str, QueuedJob] = {}
+        self._seq = itertools.count()
+        self._key_seq = itertools.count()
+        self._stopping = False
+        self.stats: Dict[str, int] = {
+            "enqueued": 0, "dispatched": 0, "completed": 0,
+            "requeued": 0, "quarantined": 0, "timeouts": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def make_key(self, label: str = "job") -> str:
+        return f"{label}#{next(self._key_seq)}"
+
+    def enqueue(self, payload: Dict[str, object],
+                priority: int = PRIORITY_BACKGROUND,
+                label: str = "", timeout: Optional[float] = None,
+                key: Optional[str] = None) -> QueuedJob:
+        """Admit one job; returns its :class:`QueuedJob` (watch ``.future``)."""
+        job = QueuedJob(
+            key=key or self.make_key(label or "job"),
+            payload=payload, priority=int(priority), label=label,
+            timeout=timeout if timeout is not None else self.default_timeout)
+        with self._available:
+            if self._stopping:
+                raise RuntimeError("scheduler is shutting down")
+            self._push(job)
+            self.stats["enqueued"] += 1
+            self._available.notify()
+        return job
+
+    def _push(self, job: QueuedJob) -> None:
+        # Callers hold the lock.  FIFO within a priority via the sequence.
+        self._pending[job.key] = job
+        heapq.heappush(self._heap, (-job.priority, next(self._seq), job.key))
+
+    def _pop(self) -> Optional[QueuedJob]:
+        while self._heap:
+            _, _, key = heapq.heappop(self._heap)
+            job = self._pending.pop(key, None)
+            if job is not None:   # stale heap entries point at removed jobs
+                return job
+        return None
+
+    # ------------------------------------------------------------------
+    def next_job(self, worker_id: str,
+                 wait_timeout: float = 2.0) -> Optional[QueuedJob]:
+        """Blocking long-poll: the highest-priority pending job, or ``None``.
+
+        Marks the job inflight on ``worker_id`` and starts its deadline
+        clock.
+        """
+        deadline = time.monotonic() + max(0.0, wait_timeout)
+        with self._available:
+            while True:
+                if self._stopping:
+                    return None
+                job = self._pop()
+                if job is not None:
+                    job.worker_id = worker_id
+                    job.started_at = time.monotonic()
+                    job.attempts += 1
+                    self._inflight[job.key] = job
+                    self.stats["dispatched"] += 1
+                    return job
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._available.wait(remaining)
+
+    def complete(self, worker_id: str, key: str,
+                 outcome: Dict[str, object]) -> Optional[QueuedJob]:
+        """Record a worker-reported outcome; returns the completed job.
+
+        Returns ``None`` (and discards the report) when the job is no
+        longer inflight on that worker — e.g. it already timed out, or the
+        worker was declared dead and the job requeued; the authoritative
+        result is whichever terminal transition happened first.
+        """
+        with self._available:
+            job = self._inflight.get(key)
+            if job is None or job.worker_id != worker_id:
+                return None
+            del self._inflight[key]
+            self.stats["completed"] += 1
+        if not job.future.done():
+            job.future.set_result(outcome)
+        return job
+
+    # ------------------------------------------------------------------
+    def worker_died(self, worker_id: str) -> List[str]:
+        """Requeue (or quarantine) every job inflight on a dead worker."""
+        requeued: List[str] = []
+        resolved: List[QueuedJob] = []
+        with self._available:
+            victims = [job for job in self._inflight.values()
+                       if job.worker_id == worker_id]
+            for job in victims:
+                del self._inflight[job.key]
+                job.worker_id = None
+                job.started_at = None
+                if job.attempts > self.max_retries:
+                    self.stats["quarantined"] += 1
+                    resolved.append(job)
+                    LOGGER.warning("quarantining poison job %s after %d "
+                                   "fatal attempt(s)", job.label or job.key,
+                                   job.attempts)
+                else:
+                    self._push(job)
+                    self.stats["requeued"] += 1
+                    requeued.append(job.key)
+                    LOGGER.warning("requeueing %s (attempt %d) after worker "
+                                   "%s died", job.label or job.key,
+                                   job.attempts, worker_id)
+            if requeued:
+                self._available.notify_all()
+        for job in resolved:
+            if not job.future.done():
+                job.future.set_result(_quarantine_outcome(job))
+        return requeued
+
+    def check_deadlines(self, now: Optional[float] = None) -> List[str]:
+        """Resolve inflight jobs past their per-job timeout as TIMEOUT."""
+        now = time.monotonic() if now is None else now
+        expired: List[QueuedJob] = []
+        with self._available:
+            for job in list(self._inflight.values()):
+                if job.timeout is None or job.started_at is None:
+                    continue
+                if now - job.started_at > job.timeout:
+                    del self._inflight[job.key]
+                    self.stats["timeouts"] += 1
+                    expired.append(job)
+        for job in expired:
+            seconds = now - (job.started_at or now)
+            if not job.future.done():
+                job.future.set_result(_timeout_outcome(job, seconds))
+        return [job.key for job in expired]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Queue depth, inflight assignments and lifetime counters."""
+        with self._available:
+            pending = sorted(self._pending.values(),
+                             key=lambda job: -job.priority)
+            by_priority: Dict[str, int] = {}
+            for job in pending:
+                by_priority[str(job.priority)] = \
+                    by_priority.get(str(job.priority), 0) + 1
+            return {
+                "depth": len(pending),
+                "by_priority": by_priority,
+                "inflight": [job.describe()
+                             for job in self._inflight.values()],
+                "stats": dict(self.stats),
+            }
+
+    @property
+    def idle(self) -> bool:
+        with self._available:
+            return not self._pending and not self._inflight
+
+    # ------------------------------------------------------------------
+    # Shutdown: drain, persist, restore
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Refuse new work and wake every long-polling worker."""
+        with self._available:
+            self._stopping = True
+            self._available.notify_all()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait for inflight jobs to finish (pending jobs stay queued)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._available:
+                if not self._inflight:
+                    return True
+            time.sleep(0.05)
+        with self._available:
+            return not self._inflight
+
+    def persist(self, path) -> int:
+        """Write the pending queue (payloads are plain JSON) to ``path``."""
+        with self._available:
+            entries = [{"payload": job.payload, "priority": job.priority,
+                        "label": job.label, "timeout": job.timeout}
+                       for job in self._pending.values()]
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump({"schema": 1, "jobs": entries}, handle)
+        return len(entries)
+
+    def restore(self, path) -> int:
+        """Re-enqueue a previously persisted queue; returns the job count.
+
+        Restored jobs carry fresh futures — the clients that submitted them
+        are gone — but executing them repopulates the certificate cache and
+        job memo, so resubmissions are answered instantly.
+        """
+        path = Path(path)
+        if not path.exists():
+            return 0
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            jobs = data["jobs"] if data.get("schema") == 1 else []
+        except (OSError, ValueError, KeyError) as exc:
+            LOGGER.warning("ignoring unreadable persisted queue %s: %s",
+                           path, exc)
+            return 0
+        for entry in jobs:
+            self.enqueue(entry["payload"],
+                         priority=int(entry.get("priority", 0)),
+                         label=str(entry.get("label", "restored")),
+                         timeout=entry.get("timeout"))
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return len(jobs)

@@ -1,0 +1,241 @@
+"""The fleet worker: pull hermetic jobs, execute, stream status back.
+
+``python -m repro worker --connect host:port`` runs one :class:`FleetWorker`.
+The worker long-polls the master for jobs, executes each one through the
+engine's hermetic :func:`~repro.engine.engine._execute_job` entry point
+under a per-job :class:`~repro.sdp.context.SolveContext`, and reports the
+outcome.  Its certificate cache is the *master's* store, reached through a
+:class:`~repro.engine.cache.RemoteCacheClient`, so every solve performed by
+any worker is immediately visible fleet-wide.
+
+Liveness is a background heartbeat thread on its own connection; a worker
+that dies (SIGKILL, OOM, network partition) simply goes silent and the
+master requeues its job.  A worker that is asked to stop (SIGTERM/Ctrl-C)
+finishes its current job, reports it, and deregisters — the graceful path
+never loses work and never leaves the master waiting out a timeout.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from ..engine.cache import RemoteCacheClient
+from ..utils import get_logger
+from .protocol import Connection, ProtocolError, format_address
+
+LOGGER = get_logger("fleet.worker")
+
+
+class WorkerKilled(BaseException):
+    """Raised by a test executor to simulate abrupt worker death.
+
+    Derives from ``BaseException`` so the ordinary job-level ``except
+    Exception`` recovery inside executors cannot swallow it.
+    """
+
+
+class FleetWorker:
+    """One fleet worker process (or thread, in tests and demos).
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` of the master.
+    name:
+        Human-readable name; the master suffixes it into a unique id.
+    poll_timeout:
+        Long-poll budget of one ``next_job`` request.
+    executor:
+        Job executor ``(payload, cache) -> outcome dict``; defaults to the
+        engine's hermetic :func:`~repro.engine.engine._execute_job`.  Tests
+        inject blocking or crashing executors here.
+    use_remote_cache:
+        When true (the default), jobs run against the master's certificate
+        cache through a :class:`RemoteCacheClient` instead of a local store.
+    """
+
+    def __init__(self, address: Tuple[str, int], name: str = "worker",
+                 poll_timeout: float = 2.0,
+                 executor: Optional[Callable[[Dict[str, object], object],
+                                             Dict[str, object]]] = None,
+                 use_remote_cache: bool = True):
+        self.address = address
+        self.name = name
+        self.poll_timeout = poll_timeout
+        self.executor = executor
+        self.use_remote_cache = use_remote_cache
+        self.worker_id: Optional[str] = None
+        self.jobs_done = 0
+        self.heartbeat_interval = 0.5
+        self._stop = threading.Event()      # graceful: finish, deregister
+        self._killed = threading.Event()    # abrupt: drop everything
+        self._control: Optional[Connection] = None
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._current_job: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle controls
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Graceful: finish the current job, report it, deregister, exit."""
+        self._stop.set()
+
+    def kill(self) -> None:
+        """Abrupt death (test hook): drop connections, stop heartbeating.
+
+        Equivalent to SIGKILL from the master's point of view — no job
+        report, no deregister; the master requeues via connection loss or
+        heartbeat staleness.
+        """
+        self._killed.set()
+        self._stop.set()
+        if self._control is not None:
+            self._control.close()
+
+    @property
+    def running(self) -> bool:
+        return self._control is not None and not self._stop.is_set()
+
+    # ------------------------------------------------------------------
+    def _execute(self, payload: Dict[str, object]) -> Dict[str, object]:
+        cache = None
+        try:
+            if payload.get("use_cache") and self.use_remote_cache:
+                cache = RemoteCacheClient(self.address)
+            if self.executor is not None:
+                return self.executor(payload, cache)
+            from ..engine.engine import _execute_job
+
+            return _execute_job(payload, cache_override=cache,
+                                override_cache=cache is not None
+                                or not payload.get("use_cache", False))
+        finally:
+            if cache is not None:
+                cache.close()
+
+    def _heartbeat_loop(self) -> None:
+        try:
+            conn = Connection.connect(self.address, timeout=5.0)
+        except OSError:
+            return
+        try:
+            while not self._stop.is_set() and not self._killed.is_set():
+                try:
+                    conn.request({"type": "heartbeat",
+                                  "worker": self.worker_id})
+                except (OSError, ProtocolError):
+                    return  # master gone; the main loop will notice too
+                self._stop.wait(self.heartbeat_interval)
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Register and pull jobs until stopped; returns the jobs completed."""
+        self._control = Connection.connect(self.address, timeout=10.0)
+        self._control.settimeout(None)
+        response = self._control.request({"type": "register",
+                                          "name": self.name})
+        self.worker_id = response["worker_id"]
+        self.heartbeat_interval = float(
+            response.get("heartbeat_interval", 0.5))
+        LOGGER.info("registered as %s with master %s", self.worker_id,
+                    format_address(self.address))
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, daemon=True,
+            name=f"heartbeat-{self.worker_id}")
+        self._heartbeat_thread.start()
+        try:
+            self._pull_loop()
+        except WorkerKilled:
+            LOGGER.warning("worker %s killed abruptly", self.worker_id)
+            return self.jobs_done
+        except (OSError, ProtocolError) as exc:
+            if not self._killed.is_set():
+                LOGGER.warning("worker %s lost the master: %s",
+                               self.worker_id, exc)
+            return self.jobs_done
+        # Graceful exit: deregister so the master reaps nothing.
+        try:
+            self._control.request({"type": "deregister",
+                                   "worker": self.worker_id})
+        except (OSError, ProtocolError):
+            pass
+        finally:
+            self._control.close()
+        LOGGER.info("worker %s stopped after %d job(s)", self.worker_id,
+                    self.jobs_done)
+        return self.jobs_done
+
+    def _pull_loop(self) -> None:
+        while not self._stop.is_set():
+            response = self._control.request(
+                {"type": "next_job", "worker": self.worker_id,
+                 "wait": self.poll_timeout})
+            if response.get("shutdown"):
+                LOGGER.info("master is shutting down; exiting")
+                return
+            job = response.get("job")
+            if not job:
+                continue
+            self._current_job = job["key"]
+            LOGGER.info("executing %s", job.get("label") or job["key"])
+            started = time.perf_counter()
+            try:
+                outcome = self._execute(job["payload"])
+            except WorkerKilled:
+                raise
+            except Exception as exc:  # noqa: BLE001 - reported to the master
+                outcome = {"status": "error",
+                           "detail": f"{type(exc).__name__}: {exc}",
+                           "seconds": time.perf_counter() - started}
+            finally:
+                self._current_job = None
+            if self._killed.is_set():
+                raise WorkerKilled()
+            self._control.request({"type": "job_done",
+                                   "worker": self.worker_id,
+                                   "key": job["key"],
+                                   "outcome": outcome})
+            self.jobs_done += 1
+
+    # ------------------------------------------------------------------
+    def start_thread(self) -> threading.Thread:
+        """Run this worker on a daemon thread (tests, demos, embedding)."""
+        thread = threading.Thread(target=self.run, daemon=True,
+                                  name=f"fleet-worker-{self.name}")
+        thread.start()
+        return thread
+
+
+def run_worker(address: Tuple[str, int], name: str = "worker",
+               poll_timeout: float = 2.0) -> int:
+    """Blocking entry point of ``python -m repro worker``.
+
+    SIGTERM and Ctrl-C request a graceful stop: the current job is finished
+    and reported, then the worker deregisters.
+    """
+    import signal
+
+    worker = FleetWorker(address, name=name, poll_timeout=poll_timeout)
+
+    def _request_stop(signum, frame):  # noqa: ARG001
+        LOGGER.info("signal %s received; finishing the current job", signum)
+        worker.stop()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _request_stop)
+        except ValueError:  # not the main thread
+            pass
+    try:
+        return worker.run()
+    except KeyboardInterrupt:
+        worker.stop()
+        return worker.jobs_done
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
