@@ -1,0 +1,198 @@
+"""Chordal Gram decomposition benchmark on the pll4 degree-4 level-set stage.
+
+One level-curve inclusion query of the fourth-order PLL — ``{V <= theta}
+subset of {outer <= 0}`` with a degree-4 certificate — compiles to a Gram
+program whose big block has order 35 (all degree-<=3 monomials in the four
+states).  The bench runs the same query twice, once with the monolithic PSD
+Gram and once with the chordal cone that splits the block along the cliques
+of its correlative-sparsity graph, and records:
+
+* the per-iteration cone projection time (the ADMM hot path: one stacked
+  ``eigh`` of order 35 vs a handful of clique-sized ones), and
+* the end-to-end level bisection (compile + bind + solve ladder), with the
+  certified levels of both cones — the chordal decomposition is *exact* on
+  chordally-sparse programs (Grone/Agler), so the levels must agree.
+
+Two ingredients make the decomposition non-trivial, and both are recorded in
+the JSON so the bench is honest about its setting:
+
+* the certificate is a *structured sparse* degree-4 template following the
+  pll4 coupling chain ``v1 - v2 - v3 - e`` (synthesised certificates are
+  numerically dense, which collapses every term-sparsity method — chordal
+  decomposition is a sparsity-exploiting technique and is benched on the
+  sparse-certificate regime it targets), and
+* the S-procedure multiplier uses the ``"diagonal"`` support
+  (``1, x_i^2, ...``): a dense multiplier template fills the correlative
+  graph and merges every clique back into one block.
+
+Asserted claims: the chordal projection step is at least 2x faster than the
+monolithic PSD projection on this stage, and the certified level matches the
+monolithic optimum.  Results land in ``benchmarks/BENCH_chordal.json``.
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.inclusion import ParametricInclusionFamily
+from repro.core.inevitability import levelset_domain_for
+from repro.polynomial import Polynomial
+from repro.scenarios import build_problem
+from repro.sdp import project_onto_cone_many, solve_conic_problem
+
+from conftest import print_rows
+
+BENCH_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "BENCH_chordal.json")
+
+SCENARIO = "pll4_deg4"
+BISECTION_ITERATIONS = 8
+LEVEL_RANGE = (0.0, 4.0)
+
+
+def _chain_certificate(problem):
+    """Structured sparse degree-4 certificate on the pll4 coupling chain.
+
+    Per-state quadratic + quartic wells plus nearest-neighbour couplings
+    along ``v1 - v2 - v3 - e`` — the sparsity pattern the PLL's loop-filter
+    topology induces, and the regime where a term-sparsity method has
+    structure to exploit.
+    """
+    variables = problem.system.state_variables
+    polys = [Polynomial.from_variable(v, variables) for v in variables]
+    v1, v2, v3, e = polys
+    certificate = (v1 * v1 + v2 * v2 + v3 * v3 + e * e) * 1.0
+    certificate = certificate + (v1 * v1 * v1 * v1 + v2 * v2 * v2 * v2
+                                 + v3 * v3 * v3 * v3 + e * e * e * e) * 0.1
+    certificate = certificate + (v1 * v2 + v2 * v3 + v3 * e) * 0.2
+    certificate = certificate + (v1 * v1 * v2 * v2 + v2 * v2 * v3 * v3
+                                 + v3 * v3 * e * e) * 0.05
+    return certificate
+
+
+def _projection_sweep_seconds(dims, repeats=60, batch=32, passes=5):
+    """Min-of-passes mean projection time (robust to scheduler noise).
+
+    ``batch=32`` matches the batched-ADMM regime (many levels advancing in
+    one iteration loop), where the stacked eigh dominates the per-call
+    bookkeeping and timing is stable.
+    """
+    points = np.random.default_rng(0).normal(size=(batch, dims.total))
+    project_onto_cone_many(points, dims)  # warm the cached index tables
+    means = []
+    for _ in range(passes):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            project_onto_cone_many(points, dims)
+        means.append((time.perf_counter() - start) / repeats)
+    return float(min(means))
+
+
+def _run_cone(certificate, outer, cone):
+    """Compile the level family under ``cone`` and bisect the level."""
+    record = {"cone": cone}
+    start = time.perf_counter()
+    family = ParametricInclusionFamily(
+        certificate, outer, multiplier_degree=2, cone=cone,
+        multiplier_support="diagonal").compile()
+    record["compile_seconds"] = time.perf_counter() - start
+
+    problem = family.bind(0.5 * sum(LEVEL_RANGE))
+    record["psd_dims"] = list(problem.dims.psd)
+    record["layout_kind"] = problem.layout_kind
+
+    low, high = LEVEL_RANGE
+    solves = 0
+    start = time.perf_counter()
+    for _ in range(BISECTION_ITERATIONS):
+        level = 0.5 * (low + high)
+        result = solve_conic_problem(family.bind(level), max_iterations=20000)
+        solves += 1
+        if result.status.is_success:
+            low = level
+        else:
+            high = level
+    record["bisection_seconds"] = time.perf_counter() - start
+    record["solves"] = solves
+    record["certified_level"] = low
+    record["projection_seconds"] = _projection_sweep_seconds(problem.dims)
+    return record
+
+
+@pytest.mark.benchmark(group="chordal")
+def test_bench_chordal_pll4_levelset(benchmark):
+    problem = build_problem(SCENARIO)
+    certificate = _chain_certificate(problem)
+    domain = levelset_domain_for(problem, problem.options, "mode2")
+    outer = -domain.inequalities[0]
+
+    records = {cone: _run_cone(certificate, outer, cone)
+               for cone in ("psd", "chordal")}
+    speedup = (records["psd"]["projection_seconds"]
+               / records["chordal"]["projection_seconds"])
+    level_gap = abs(records["psd"]["certified_level"]
+                    - records["chordal"]["certified_level"])
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = []
+    for cone in ("psd", "chordal"):
+        record = records[cone]
+        rows.append((cone,
+                     "x".join(str(k) for k in record["psd_dims"]),
+                     f"{record['compile_seconds']:.2f}",
+                     f"{record['bisection_seconds']:.2f}",
+                     f"{record['certified_level']:.3f}",
+                     f"{record['projection_seconds'] * 1e6:.1f} us"))
+    print_rows(
+        f"{SCENARIO} degree-4 level-set stage: chordal vs monolithic PSD",
+        ["cone", "psd blocks", "compile s", "bisect s", "level", "projection"],
+        rows,
+    )
+    print_rows(
+        "projection hot path",
+        ["quantity", "value"],
+        [("speedup (psd / chordal)", f"{speedup:.2f}x"),
+         ("certified level gap", f"{level_gap:.4f}")],
+    )
+
+    document = {
+        "schema": "bench-chordal/v1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "scenario": SCENARIO,
+        "certificate": "structured sparse degree-4 chain template",
+        "multiplier_support": "diagonal",
+        "bisection_iterations": BISECTION_ITERATIONS,
+        "cones": records,
+        "projection_speedup": speedup,
+        "certified_level_gap": level_gap,
+    }
+    with open(BENCH_JSON_PATH, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\n[bench] wrote {BENCH_JSON_PATH}")
+
+    # The chordal lowering must actually decompose the order-35 Gram block
+    # (a dense pattern would collapse back to one clique) ...
+    chordal_blocks = records["chordal"]["psd_dims"]
+    assert max(chordal_blocks) < 35, \
+        f"chordal decomposition collapsed to {chordal_blocks}"
+    assert records["chordal"]["layout_kind"] == "chordal"
+    # ... the decomposition is exact, so both cones certify the same level
+    # (within one bisection-resolution step) ...
+    resolution = (LEVEL_RANGE[1] - LEVEL_RANGE[0]) / 2 ** BISECTION_ITERATIONS
+    assert records["psd"]["certified_level"] > 0.0
+    assert records["chordal"]["certified_level"] > 0.0
+    assert level_gap <= 2 * resolution + 1e-9, \
+        f"chordal/psd certified levels diverge by {level_gap:.4f}"
+    # ... and the clique-sized projection step — the per-iteration ADMM hot
+    # path — beats the monolithic order-35 stacked eigh by at least 2x.
+    assert speedup >= 2.0, \
+        f"chordal projection speedup dropped to {speedup:.2f}x"

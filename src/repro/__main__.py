@@ -339,12 +339,14 @@ def build_parser() -> argparse.ArgumentParser:
                                "(accelerator when usable, else numpy); "
                                "default: the solver's own auto resolution")
     p_verify.add_argument("--relaxation", default=None,
-                          choices=["dsos", "sdsos", "sos", "auto"],
+                          choices=["dsos", "sdsos", "chordal", "sos", "auto"],
                           help="Gram-cone relaxation of every certificate: "
-                               "dsos (LP cones), sdsos (2x2 PSD blocks), sos "
-                               "(full PSD Gram) or auto (try cheap, escalate "
-                               "on failure); default: each scenario's "
-                               "registered relaxation")
+                               "dsos (LP cones), sdsos (2x2 PSD blocks), "
+                               "chordal (clique-sized PSD blocks from the "
+                               "Gram sparsity pattern), sos (full PSD Gram) "
+                               "or auto (try cheap, escalate on failure); "
+                               "default: each scenario's registered "
+                               "relaxation")
     p_verify.add_argument("--json", default=None, metavar="PATH",
                           help="write the JSON report here "
                                "(default: <cache>/last_report.json)")
@@ -437,7 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["auto", "numpy", "cupy", "torch"],
                           help="array namespace of the solver hot loops")
     p_submit.add_argument("--relaxation", default=None,
-                          choices=["dsos", "sdsos", "sos", "auto"],
+                          choices=["dsos", "sdsos", "chordal", "sos", "auto"],
                           help="Gram-cone relaxation override")
     p_submit.add_argument("--json", default=None, metavar="PATH",
                           help="write the fleet's JSON report here")

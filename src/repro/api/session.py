@@ -66,7 +66,8 @@ class VerificationSession:
         caching.  Mutually exclusive.
     relaxation:
         Default Gram-cone relaxation applied when this session builds
-        scenario problems (``"dsos"``/``"sdsos"``/``"sos"``/``"auto"``);
+        scenario problems (``"dsos"``/``"sdsos"``/``"chordal"``/``"sos"``/
+        ``"auto"``);
         ``None`` keeps each scenario's registered relaxation.
     seed:
         Seed of the session's :meth:`rng` — the deterministic generator for

@@ -37,10 +37,13 @@ class StageConfig:
     relaxation:
         Gram-cone relaxation of the stage's SOS certificates: ``"dsos"``
         (diagonally-dominant Gram matrices → pure LP cones), ``"sdsos"``
-        (scaled diagonal dominance → sums of 2×2 PSD blocks), ``"sos"``
-        (full PSD Gram, the default) or ``"auto"`` — try the cheapest
-        relaxation first and escalate on failure.  Certificates found in a
-        cheaper cone are valid SOS certificates (DSOS ⊂ SDSOS ⊂ SOS).
+        (scaled diagonal dominance → sums of 2×2 PSD blocks), ``"chordal"``
+        (clique-sized PSD blocks from a chordal extension of the Gram
+        sparsity pattern — exact when the pattern is genuinely sparse),
+        ``"sos"`` (full PSD Gram, the default) or ``"auto"`` — try the
+        cheapest relaxation first and escalate on failure.  Certificates
+        found in a cheaper cone are valid SOS certificates
+        (DSOS ⊂ SDSOS ⊂ chordal ⊆ SOS).
     """
 
     multiplier_degree: int = 2

@@ -51,6 +51,7 @@ def build_inclusion_program(
     domain: Optional[SemialgebraicSet] = None,
     cone: str = "psd",
     context: Optional[SolveContext] = None,
+    multiplier_support: str = "dense",
 ) -> Tuple[SOSProgram, ParametricPolynomial, Polynomial, Polynomial]:
     """Construct the Lemma-1 feasibility program for one inclusion query.
 
@@ -58,20 +59,34 @@ def build_inclusion_program(
     query is feasible iff ``λ·inner − outer`` (minus domain S-procedure
     terms) admits an SOS certificate with ``λ`` SOS.  ``cone`` selects the
     Gram-cone relaxation of every SOS constraint in the program (``"psd"``,
-    ``"sdd"`` or ``"dd"``); ``context`` the governing solve context.
+    ``"chordal"``, ``"sdd"`` or ``"dd"``); ``context`` the governing solve
+    context.  ``multiplier_support`` shapes the multiplier templates:
+    ``"dense"`` (every monomial up to ``multiplier_degree``, the default) or
+    ``"diagonal"`` (``1, x_i^2, x_i^4, ...`` — a separable template that
+    preserves the correlative sparsity of sparse certificates, so the
+    ``"chordal"`` cone can actually split the product's Gram block; a dense
+    multiplier fills the sparsity graph and collapses the decomposition to
+    one clique).
     """
+    if multiplier_support not in ("dense", "diagonal"):
+        raise ValueError(
+            f"unknown multiplier_support {multiplier_support!r}; "
+            "expected 'dense' or 'diagonal'")
+    diagonal = multiplier_support == "diagonal"
     variables = inner.variables.union(outer.variables)
     inner_v = inner.with_variables(variables)
     outer_v = outer.with_variables(variables)
 
     program = SOSProgram(name="sublevel_inclusion", default_cone=cone,
                          context=context)
-    lam = program.new_sos_polynomial(variables, multiplier_degree, name="lambda")
+    lam = program.new_sos_polynomial(variables, multiplier_degree,
+                                     name="lambda", diagonal_only=diagonal)
     expr = lam * inner_v - outer_v
     if domain is not None:
         for k, constraint in enumerate(domain.inequalities):
             sigma = program.new_sos_polynomial(variables, multiplier_degree,
-                                               name=f"dom{k}")
+                                               name=f"dom{k}",
+                                               diagonal_only=diagonal)
             expr = expr - sigma * constraint.with_variables(variables)
     program.add_sos_constraint(expr, name="inclusion")
     return program, lam, inner_v, outer_v
@@ -86,6 +101,7 @@ def check_sublevel_inclusion(
     warm_start: Optional[dict] = None,
     cone: str = "psd",
     context: Optional[SolveContext] = None,
+    multiplier_support: str = "dense",
     **solver_settings,
 ) -> InclusionCertificate:
     """Certify ``{inner <= 0} ⊆ {outer <= 0}`` via Lemma 1.
@@ -102,7 +118,7 @@ def check_sublevel_inclusion(
     """
     program, lam, inner_v, outer_v = build_inclusion_program(
         inner, outer, multiplier_degree=multiplier_degree, domain=domain,
-        cone=cone, context=context)
+        cone=cone, context=context, multiplier_support=multiplier_support)
     solution = program.solve(backend=solver_backend, warm_start=warm_start,
                              **solver_settings)
     warm_data = solution.solver_result.info.get("warm_start_data")
@@ -138,7 +154,8 @@ class ParametricInclusionFamily:
                  probes: Tuple[float, float] = (0.0, 1.0),
                  check_affinity: bool = True,
                  cone: str = "psd",
-                 context: Optional[SolveContext] = None):
+                 context: Optional[SolveContext] = None,
+                 multiplier_support: str = "dense"):
         self.certificate = certificate
         self.outer = outer
         self.cone = normalize_gram_cone(cone)
@@ -149,7 +166,8 @@ class ParametricInclusionFamily:
             program, lam, _, _ = build_inclusion_program(
                 certificate - theta, outer,
                 multiplier_degree=multiplier_degree, domain=domain,
-                cone=cone, context=context)
+                cone=cone, context=context,
+                multiplier_support=multiplier_support)
             return program, lam
 
         self.family = ParametricSOSProgram(build, probes=probes,

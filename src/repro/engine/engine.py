@@ -76,7 +76,8 @@ class EngineOptions:
     cache_dir: Optional[str] = None    # None = default cache location
     job_timeout: Optional[float] = None  # seconds; enforced for pool runs
     seed: int = 0                      # threaded into falsification sampling
-    # Gram-cone relaxation override: "dsos" | "sdsos" | "sos" | "auto".
+    # Gram-cone relaxation override:
+    # "dsos" | "sdsos" | "chordal" | "sos" | "auto".
     # None keeps each scenario's registered relaxation.
     relaxation: Optional[str] = None
     # Conic solver backend of every job's solve context ("admm",

@@ -215,3 +215,28 @@ def _build_pll4(spec: ScenarioSpec) -> ScenarioProblem:
                            validate_samples=300)
     options.verify_property_two = False
     return ScenarioProblem.from_pll_model(model, options, falsification_count=0)
+
+
+@register_scenario(
+    name="pll4_deg4",
+    description="4th-order CP PLL with degree-4 certificates on the auto "
+                "relaxation ladder (dsos -> sdsos -> chordal -> sos); the "
+                "chordal rung splits the large degree-4 Gram blocks into "
+                "clique-sized PSD cones",
+    certificate_degree=4,
+    expected="inconclusive",
+    relaxation="auto",
+    tags=("pll", "paper", "chordal", "hard"),
+)
+def _build_pll4_deg4(spec: ScenarioSpec) -> ScenarioProblem:
+    model = build_fourth_order_model(
+        region=RegionOfInterest(voltage_bound=2.0, phase_bound=1.0),
+        uncertainty="none",
+    )
+    # Same plant as ``pll4``, but the stage options inherit the spec's
+    # ``auto`` ladder, so every certificate search climbs through the
+    # chordal rung before paying for the monolithic PSD Gram.
+    options = _pll_options(spec, model, lock_tube_radius=0.8,
+                           validate_samples=300)
+    options.verify_property_two = False
+    return ScenarioProblem.from_pll_model(model, options, falsification_count=0)

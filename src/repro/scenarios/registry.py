@@ -55,7 +55,8 @@ class ScenarioSpec:
         (known-hard workload) or ``"any"`` (exploratory).
     relaxation:
         Gram-cone relaxation of the certificate pipeline: ``"dsos"``,
-        ``"sdsos"``, ``"sos"`` (default) or ``"auto"`` (escalation ladder).
+        ``"sdsos"``, ``"chordal"``, ``"sos"`` (default) or ``"auto"``
+        (escalation ladder).
         Propagated into the built problem's stage options; the engine/CLI
         ``--relaxation`` override wins over this registered default.
     tags:

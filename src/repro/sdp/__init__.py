@@ -22,11 +22,13 @@ from .cones import (
     svec_dim,
     svec_indices,
 )
+from .chordal import chordal_decomposition, clique_tree
 from .gramcone import (
     AUTO_LADDER,
     GRAM_CONES,
     RELAXATION_CONES,
     RELAXATIONS,
+    ChordalGramBlock,
     GramBlockHandle,
     cone_for_relaxation,
     make_gram_block,
@@ -78,6 +80,9 @@ __all__ = [
     "RELAXATIONS",
     "RELAXATION_CONES",
     "AUTO_LADDER",
+    "ChordalGramBlock",
+    "chordal_decomposition",
+    "clique_tree",
     "GramBlockHandle",
     "make_gram_block",
     "normalize_gram_cone",

@@ -205,19 +205,24 @@ class ConicProblemBuilder:
         self._psd_blocks.append(block)
         return self._register(block), block
 
-    def add_gram_block(self, order: int, cone: str = "psd", name: str = ""):
+    def add_gram_block(self, order: int, cone: str = "psd", name: str = "",
+                       **cone_options):
         """Allocate the lifted variables of one Gram matrix under a cone.
 
-        ``cone`` selects the relaxation (``"psd"``, ``"sdd"`` or ``"dd"``;
-        relaxation aliases ``"sos"``/``"sdsos"``/``"dsos"`` are accepted).
-        Returns a :class:`~repro.sdp.gramcone.GramBlockHandle` whose
+        ``cone`` selects the relaxation (``"psd"``, ``"chordal"``, ``"sdd"``
+        or ``"dd"``; relaxation aliases ``"sos"``/``"sdsos"``/``"dsos"`` are
+        accepted).  ``cone_options`` are forwarded to the handle — the
+        ``chordal`` cone takes its correlative-sparsity edge set and
+        clique-merge knobs this way.  Returns a
+        :class:`~repro.sdp.gramcone.GramBlockHandle` whose
         ``entry_triplets`` lower symmetric Gram-entry coefficients onto the
         allocated blocks and whose ``matrix`` reconstructs the Gram matrix
         from a solution vector.
         """
         from .gramcone import make_gram_block
 
-        return make_gram_block(self, order, cone=cone, name=name)
+        return make_gram_block(self, order, cone=cone, name=name,
+                               **cone_options)
 
     def set_layout(self, layout: str) -> None:
         """Tag the built problem with a cone-layout description.

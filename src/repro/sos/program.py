@@ -137,19 +137,54 @@ def _sos_row_plan(basis: Tuple[Monomial, ...],
     )
 
 
+@lru_cache(maxsize=1024)
+def _gram_sparsity_edges(basis: Tuple[Monomial, ...],
+                         support: Tuple[Monomial, ...]
+                         ) -> Tuple[Tuple[int, int], ...]:
+    """Correlative-sparsity edges of one Gram constraint (cached).
+
+    Vertices are the Gram-basis monomials; an edge connects ``(i, j)`` when
+    the product ``basis[i] * basis[j]`` is a monomial the constraint can
+    actually touch: a member of the expression's support, or the square of a
+    basis monomial (squares are always admissible — their coefficient-matching
+    rows exist whether or not the expression carries the monomial, and cross
+    terms landing on a square must be allowed to cancel against it, e.g. the
+    ``1 * x^2`` entry of ``(x^2 - 1)^2``).  Entries outside the pattern are
+    structurally zero in the chordal lowering; the pattern is chordally
+    extended by :func:`repro.sdp.chordal.chordal_decomposition`.
+    """
+    table = gram_product_table(basis)
+    diagonal = table.pair_i == table.pair_j
+    allowed = set(np.unique(table.pair_product[diagonal]).tolist())
+    for mono in support:
+        index = table.product_index.get(mono)
+        if index is not None:
+            allowed.add(index)
+    off = ~diagonal
+    keep = np.isin(table.pair_product[off],
+                   np.asarray(sorted(allowed), dtype=np.int64))
+    return tuple(zip(table.pair_i[off][keep].tolist(),
+                     table.pair_j[off][keep].tolist()))
+
+
 @dataclass
 class SOSConstraint:
     """An SOS membership constraint ``expr ∈ Σ[x]`` recorded in a program.
 
     ``cone`` selects the Gram-cone relaxation of this constraint's Gram
-    matrix (``"psd"`` = full SOS, ``"sdd"`` = SDSOS, ``"dd"`` = DSOS);
-    ``None`` inherits the program's default cone at compile time.
+    matrix (``"psd"`` = full SOS, ``"chordal"`` = clique-decomposed SOS,
+    ``"sdd"`` = SDSOS, ``"dd"`` = DSOS); ``None`` inherits the program's
+    default cone at compile time.  ``cone_options`` are extra keyword
+    options for the cone lowering (e.g. the ``merge_size``/``merge_overlap``
+    clique-merge knobs of the chordal cone), stored as a sorted item tuple
+    so the dataclass stays hashable-friendly.
     """
 
     name: str
     expression: ParametricPolynomial
     basis: Tuple[Monomial, ...]
     cone: Optional[str] = None
+    cone_options: Tuple[Tuple[str, object], ...] = ()
 
     @property
     def gram_order(self) -> int:
@@ -241,9 +276,11 @@ class SOSProgram:
 
     ``default_cone`` selects the Gram-cone relaxation applied to every SOS
     constraint that does not carry its own ``cone=``: ``"psd"`` (full SOS,
-    the default), ``"sdd"`` (SDSOS — sums of 2x2 PSD blocks) or ``"dd"``
+    the default), ``"chordal"`` (clique-sized PSD blocks over the chordally
+    extended correlative-sparsity pattern — exact for chordally-sparse
+    constraints), ``"sdd"`` (SDSOS — sums of 2x2 PSD blocks) or ``"dd"``
     (DSOS — a pure LP lowering).  Relaxation aliases (``"sos"``,
-    ``"sdsos"``, ``"dsos"``) are accepted.
+    ``"chordal"``, ``"sdsos"``, ``"dsos"``) are accepted.
 
     ``context`` is the :class:`~repro.sdp.context.SolveContext` whose cache,
     counters and backend defaults govern this program's compiles and solves;
@@ -300,12 +337,25 @@ class SOSProgram:
         name: Optional[str] = None,
         min_degree: int = 0,
         even_only: bool = False,
+        diagonal_only: bool = False,
     ) -> ParametricPolynomial:
-        """A polynomial template with one free coefficient per monomial."""
+        """A polynomial template with one free coefficient per monomial.
+
+        ``even_only`` keeps even-total-degree monomials; ``diagonal_only``
+        keeps only the constant and even pure powers of single variables
+        (``1, x_i^2, x_i^4, ...``) — the *separable* template that preserves
+        the correlative sparsity of whatever the template multiplies, which
+        is what makes the chordal Gram decomposition effective downstream.
+        """
         name = name or self._fresh_name("p")
         basis = monomial_basis(len(variables), degree, min_degree)
         if even_only:
             basis = tuple(m for m in basis if m.degree % 2 == 0)
+        if diagonal_only:
+            basis = tuple(
+                m for m in basis
+                if m.degree % 2 == 0
+                and sum(1 for exp in m.exponents if exp) <= 1)
         coeffs = {}
         for mono in basis:
             dvar = DecisionVariable(f"{name}[{mono.to_string(variables)}]")
@@ -321,17 +371,22 @@ class SOSProgram:
         name: Optional[str] = None,
         min_degree: int = 0,
         cone: Optional[str] = None,
+        diagonal_only: bool = False,
     ) -> ParametricPolynomial:
         """A polynomial template constrained to be SOS.
 
         ``min_degree = 2`` drops constant and linear monomials, producing an
         SOS polynomial that vanishes at the origin (useful for Lyapunov
         certificates and S-procedure multipliers that must not shift the
-        equilibrium).
+        equilibrium).  ``diagonal_only`` restricts the template to
+        ``1, x_i^2, x_i^4, ...`` — a separable SOS multiplier that keeps the
+        product's correlative-sparsity graph sparse (see
+        :meth:`new_polynomial_variable`).
         """
         name = name or self._fresh_name("sigma")
         poly = self.new_polynomial_variable(variables, degree, name=name,
-                                            min_degree=min_degree)
+                                            min_degree=min_degree,
+                                            diagonal_only=diagonal_only)
         self.add_sos_constraint(poly, name=f"{name}_sos", cone=cone)
         return poly
 
@@ -344,13 +399,18 @@ class SOSProgram:
 
     def add_sos_constraint(self, expression: PolyExpr,
                            name: Optional[str] = None,
-                           cone: Optional[str] = None) -> SOSConstraint:
+                           cone: Optional[str] = None,
+                           cone_options: Optional[Dict[str, object]] = None
+                           ) -> SOSConstraint:
         """Require ``expression`` to be a sum of squares.
 
         ``cone`` optionally restricts this constraint's Gram matrix to a
         cheaper cone (``"sdd"``/``"dd"``, certifying SDSOS/DSOS membership —
-        a *stronger* claim, since DSOS ⊂ SDSOS ⊂ SOS); ``None`` uses the
-        program's :attr:`default_cone`.
+        a *stronger* claim, since DSOS ⊂ SDSOS ⊂ SOS — or ``"chordal"``,
+        splitting the Gram block along its correlative sparsity cliques);
+        ``None`` uses the program's :attr:`default_cone`.  ``cone_options``
+        forwards extra lowering knobs, e.g. ``merge_size``/``merge_overlap``
+        for the chordal clique merge.
         """
         expr = ParametricPolynomial.coerce(expression)
         name = name or self._fresh_name("sos")
@@ -367,8 +427,9 @@ class SOSProgram:
                 "an odd-degree polynomial can never be a sum of squares"
             )
         basis = gram_basis_for_degree(len(expr.variables), degree)
-        constraint = SOSConstraint(name=name, expression=expr, basis=basis,
-                                   cone=cone)
+        constraint = SOSConstraint(
+            name=name, expression=expr, basis=basis, cone=cone,
+            cone_options=tuple(sorted((cone_options or {}).items())))
         self._register_expression_variables(expr)
         self._sos_constraints.append(constraint)
         self._invalidate()
@@ -453,14 +514,25 @@ class SOSProgram:
 
         sos_blocks: List[Tuple[SOSConstraint, GramBlockHandle]] = []
         for constraint in self._sos_constraints:
+            cone = constraint.cone or self._default_cone
+            cone_options = dict(constraint.cone_options)
+            if cone == "chordal":
+                # The chordal lowering needs the constraint's correlative-
+                # sparsity graph: which Gram entries can be nonzero, read off
+                # the basis products landing in the expression's support.
+                support = tuple(sorted(constraint.expression.coefficients,
+                                       key=Monomial.sort_key))
+                cone_options["sparsity"] = _gram_sparsity_edges(
+                    constraint.basis, support)
             handle = builder.add_gram_block(
-                constraint.gram_order,
-                cone=constraint.cone or self._default_cone,
-                name=constraint.name)
+                constraint.gram_order, cone=cone, name=constraint.name,
+                **cone_options)
             sos_blocks.append((constraint, handle))
         # The cone layout enters the problem fingerprint, so distinct
-        # relaxations of the same program never share a cache entry.
-        builder.set_layout(",".join(f"{handle.cone}:{handle.order}"
+        # relaxations of the same program never share a cache entry (the
+        # chordal tag includes the clique layout itself, keeping different
+        # sparsity patterns — and hence different lowerings — distinct too).
+        builder.set_layout(",".join(handle.layout_tag
                                     for _, handle in sos_blocks))
 
         # Coefficient matching for SOS constraints:

@@ -72,11 +72,13 @@ class TestRelaxationNames:
     def test_mapping(self):
         assert cone_for_relaxation("dsos") == "dd"
         assert cone_for_relaxation("sdsos") == "sdd"
+        assert cone_for_relaxation("chordal") == "chordal"
         assert cone_for_relaxation("sos") == "psd"
 
     def test_ladder(self):
-        assert relaxation_ladder("auto") == ("dsos", "sdsos", "sos")
+        assert relaxation_ladder("auto") == ("dsos", "sdsos", "chordal", "sos")
         assert relaxation_ladder("sdsos") == ("sdsos",)
+        assert relaxation_ladder("chordal") == ("chordal",)
 
     def test_normalization_accepts_aliases(self):
         assert normalize_gram_cone("DSOS") == "dd"

@@ -38,6 +38,16 @@ class TestRegistry:
             assert spec.expected in ("verified", "property_one",
                                      "inconclusive", "any")
 
+    def test_pll4_deg4_rides_the_auto_ladder(self):
+        spec = get_scenario("pll4_deg4")
+        assert spec.certificate_degree == 4
+        assert spec.relaxation == "auto"
+        assert "chordal" in spec.tags
+        problem = spec.build()
+        # The registered ladder lands on every stage's options.
+        assert problem.options.lyapunov.relaxation == "auto"
+        assert problem.options.levelset.relaxation == "auto"
+
     def test_unknown_scenario_raises_with_listing(self):
         with pytest.raises(KeyError, match="available"):
             get_scenario("no_such_scenario")
