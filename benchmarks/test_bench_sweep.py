@@ -1,0 +1,127 @@
+"""Sweep-planner benchmark: compiles-per-family and points/sec at scale.
+
+The sweep subsystem's performance claim is structural: certifying a family
+of N parameter points costs **one** SOS compile per (rung, shard) structure
+— the :class:`~repro.sos.parametric.MultiParametricSOSProgram` probe family
+— plus a pure array bind per point, instead of N full compiles.  This bench
+drives the claim at paper scale: a 200-point charge-pump degradation ladder
+(``Ip ∈ [0.2, 1.0]·nominal`` of the third-order PLL, the continuum
+generalisation of the ``pll3_weak_pump`` scenario) swept end to end through
+:class:`~repro.sweep.SweepRunner` with ``jobs=1`` (a single shard, so the
+compile bound is exactly 1 per rung).
+
+Recorded in ``benchmarks/BENCH_sweep.json``:
+
+* ``parametric_compiles`` / ``binds`` / ``rebuild_compiles`` per rung
+  structure (asserted: ≤ 1 parametric compile, 0 rebuilds, one bind per
+  sampling-passing point);
+* ``points_per_second`` over the full ladder (sampling validation included
+  — degraded points are filtered before any conic work, which is exactly
+  the designed fast path);
+* the certified frontier edge on the Ip axis (the sweep's scientific
+  output: down to which pump-current fraction the nominal certificate
+  survives).
+
+Budget note: the anchor Lyapunov synthesis runs against a cold cache inside
+the bench's tmp dir so the run is hermetic; it is reported separately from
+the per-point throughput.
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+
+import pytest
+
+from repro.sweep import SweepOptions, SweepRunner, get_sweep_family
+
+BENCH_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "BENCH_sweep.json")
+
+FAMILY = "pll3_ip_ladder"
+POINTS = 200
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_bench_sweep_degradation_ladder(benchmark, tmp_path):
+    family = get_sweep_family(FAMILY).reconfigure(samples=POINTS)
+    assert family.count() == POINTS
+
+    runner = SweepRunner(SweepOptions(jobs=1, cache_dir=str(tmp_path)))
+    start = time.perf_counter()
+    report = runner.run(family)
+    wall = time.perf_counter() - start
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    run = report.run
+    anchor_seconds = run["anchor"]["seconds"]
+    sweep_seconds = max(wall - anchor_seconds, 1e-9)
+    points_per_second = POINTS / sweep_seconds
+
+    structures = run["structures"]
+    total_parametric = sum(entry.get("parametric_compiles", 0)
+                           for entry in structures.values())
+    total_rebuilds = sum(entry.get("rebuild_compiles", 0)
+                         for entry in structures.values())
+    certified = report.certified
+    ip_range = report.frontier["axes"]["i_p"]["certified_range"]
+    nominal = ip_range[1] if ip_range else None
+    frontier_fraction = (ip_range[0] / nominal) if ip_range else None
+
+    print(f"\n=== {FAMILY} x {POINTS} points (jobs=1, single shard) ===")
+    print(f"anchor synthesis   : {anchor_seconds:.2f}s "
+          f"({run['anchor']['relaxation']})")
+    print(f"sweep wall         : {sweep_seconds:.2f}s "
+          f"({points_per_second:.1f} points/s)")
+    print(f"certified          : {certified}/{POINTS}"
+          + (f", Ip frontier at {frontier_fraction:.3f} of nominal"
+             if frontier_fraction is not None else ""))
+    for rung in sorted(structures):
+        entry = structures[rung]
+        print(f"structure[{rung}]     : "
+              f"{entry.get('parametric_compiles', 0)} parametric compile(s), "
+              f"{entry.get('binds', 0)} bind(s), "
+              f"{entry.get('rebuild_compiles', 0)} rebuild(s)")
+    print(f"SDP solves         : {run['counters'].get('solved', 0)} "
+          f"({run['counters'].get('cache_hit', 0)} cache hits)")
+
+    document = {
+        "schema": "bench-sweep/v1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "family": FAMILY,
+        "points": POINTS,
+        "jobs": 1,
+        "anchor_seconds": anchor_seconds,
+        "sweep_seconds": sweep_seconds,
+        "points_per_second": points_per_second,
+        "certified_points": certified,
+        "ip_frontier_fraction": frontier_fraction,
+        "structures": structures,
+        "compiles_per_family": total_parametric,
+        "solves": run["counters"].get("solved", 0),
+        "cache": run["cache"],
+    }
+    with open(BENCH_JSON_PATH, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\n[bench] wrote {BENCH_JSON_PATH}")
+
+    # The structural claim: one shard pays at most one parametric compile
+    # per rung structure and never falls back to per-point rebuilds on the
+    # (affine-in-Ip) probe family.
+    assert len(structures) >= 1
+    for rung, entry in structures.items():
+        assert entry.get("parametric_compiles", 0) <= 1, \
+            f"rung {rung} recompiled its structure"
+        assert entry.get("rebuild_compiles", 0) == 0, \
+            f"rung {rung} fell back to per-point rebuilds"
+    assert total_rebuilds == 0
+    # Every sampling-passing point bound (not compiled) its conic data, and
+    # the certified region is the upper end of the ladder (healthy pump).
+    assert certified >= 1
+    assert report.frontier["summary"]["points"] == POINTS

@@ -4,8 +4,14 @@
 * ``verify <scenario>...`` — run the verification engine on the named
   scenarios (``all`` / ``fast`` select groups), with ``--jobs N`` for the
   process pool, ``--fleet HOST:PORT`` to execute on a running fleet,
+  ``--param key=value`` to override declared sweep axes,
   ``--no-cache`` to bypass the persistent certificate cache and
   ``--json PATH`` to write the full machine-readable report.
+* ``sweep <family>`` — map a certified feasibility frontier over a sweep
+  family's parameter axes (``--list`` shows the registered families;
+  ``--grid axis=lo:hi:n`` / ``--samples`` / ``--seed`` reshape it,
+  ``--resume`` continues an interrupted sweep, ``--fleet`` runs the point
+  shards on a fleet).
 * ``report`` — re-render the JSON report written by the last ``verify``
   (``--metrics`` for a structured metrics snapshot, JSON or Prometheus).
 * ``serve`` — run a fleet master: prioritised job queue, shared certificate
@@ -38,6 +44,43 @@ LAST_REPORT_NAME = "last_report.json"
 def _default_report_path(cache_dir: Optional[str]) -> Path:
     root = Path(cache_dir) if cache_dir else default_cache_dir()
     return root / LAST_REPORT_NAME
+
+
+def _parse_params(entries: Optional[Sequence[str]]) -> dict:
+    """``--param key=value`` pairs into a float dict (usage errors exit 2)."""
+    params = {}
+    for entry in entries or []:
+        key, sep, value = entry.partition("=")
+        if not sep or not key:
+            print(f"error: --param expects key=value, got {entry!r}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        try:
+            params[key] = float(value)
+        except ValueError:
+            print(f"error: --param {key}: {value!r} is not a number",
+                  file=sys.stderr)
+            raise SystemExit(2) from None
+    return params
+
+
+def _parse_grid(entries: Optional[Sequence[str]]) -> dict:
+    """``--grid axis=lo:hi:n`` specs into ``{axis: (lo, hi, n)}``."""
+    grid = {}
+    for entry in entries or []:
+        key, sep, value = entry.partition("=")
+        parts = value.split(":")
+        if not sep or not key or len(parts) != 3:
+            print(f"error: --grid expects axis=lo:hi:n, got {entry!r}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        try:
+            grid[key] = (float(parts[0]), float(parts[1]), int(parts[2]))
+        except ValueError:
+            print(f"error: --grid {key}: cannot parse {value!r} as lo:hi:n",
+                  file=sys.stderr)
+            raise SystemExit(2) from None
+    return grid
 
 
 def _resolve_scenarios(names: Sequence[str]) -> List[str]:
@@ -88,6 +131,18 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if not scenarios:
         print("nothing to verify", file=sys.stderr)
         return 2
+    params = _parse_params(args.param)
+    if params:
+        # Validate against each scenario's declared axes up front, so a typo
+        # fails in milliseconds instead of inside a worker process.
+        from .scenarios import get_scenario
+
+        for name in scenarios:
+            try:
+                get_scenario(name).with_parameters(params)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
     options = EngineOptions(
         jobs=max(1, args.jobs),
         use_cache=not args.no_cache,
@@ -99,6 +154,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         array_backend=args.array_backend,
         fleet=args.fleet,
         fleet_priority=args.fleet_priority,
+        params=params or None,
     )
     engine = VerificationEngine(options)
     relax_note = f", relaxation={options.relaxation}" if options.relaxation else ""
@@ -106,6 +162,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
     array_note = f", array-backend={options.array_backend}" \
         if options.array_backend else ""
     fleet_note = f", fleet={options.fleet}" if options.fleet else ""
+    if params:
+        fleet_note += ", params=" + ",".join(
+            f"{key}={params[key]:g}" for key in sorted(params))
     print(f"verifying {', '.join(scenarios)} "
           f"(jobs={options.jobs}, cache={'on' if options.use_cache else 'off'}"
           f"{relax_note}{backend_note}{array_note}{fleet_note})")
@@ -169,6 +228,81 @@ def cmd_report(args: argparse.Namespace) -> int:
             print(f"      {job.get('job_id'):40s} {job.get('status'):8s} "
                   f"{job.get('seconds', 0.0):7.2f}s")
     return 0 if ok else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import SweepError, SweepOptions, SweepRunner, all_sweep_families
+
+    if args.list:
+        rows = [family.summary_row() for family in all_sweep_families()]
+        if args.json:
+            json.dump({"families": rows}, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+            return 0
+        width = max(len(row["name"]) for row in rows) + 2
+        print(f"{len(rows)} registered sweep families:")
+        for row in rows:
+            tags = ",".join(row["tags"]) or "-"
+            print(f"  {row['name']:<{width}} {row['kind']:<18} "
+                  f"scenario={row['scenario']:<10} points={row['points']:<5} "
+                  f"axes={','.join(row['axes'])} "
+                  f"relaxation={row['relaxation']:<6} tags={tags}")
+            print(f"  {'':<{width}} {row['description']}")
+        return 0
+    if not args.family:
+        print("error: name a sweep family (or use --list)", file=sys.stderr)
+        return 2
+
+    grid = _parse_grid(args.grid)
+    options = SweepOptions(
+        jobs=max(1, args.jobs),
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        job_timeout=args.timeout,
+        relaxation=args.relaxation,
+        backend=args.backend,
+        array_backend=args.array_backend,
+        fleet=args.fleet,
+        fleet_priority=args.fleet_priority,
+        grid=grid or None,
+        samples=args.samples,
+        seed=args.seed,
+        shard_size=args.shard_size,
+        resume=args.resume,
+    )
+    runner = SweepRunner(options)
+    try:
+        family = runner.resolve_family(args.family)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except SweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    fleet_note = f", fleet={options.fleet}" if options.fleet else ""
+    print(f"sweeping {family.name}: {family.count()} point(s) over "
+          f"axes {','.join(family.axes())} of scenario {family.scenario} "
+          f"(jobs={options.jobs}, "
+          f"cache={'on' if options.use_cache else 'off'}{fleet_note})")
+    try:
+        report = runner.run(family)
+    except SweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print()
+    print(report.render_text())
+
+    payload = report.to_json_dict()
+    root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    json_path = Path(args.json) if args.json \
+        else root / f"sweep_{family.name}.json"
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"frontier JSON written to {json_path}")
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -357,7 +491,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--fleet-priority", type=int, default=0, metavar="N",
                           help="queue priority of fleet-executed jobs "
                                "(background 0, interactive 10)")
+    p_verify.add_argument("--param", action="append", default=None,
+                          metavar="KEY=VALUE",
+                          help="override a declared sweep axis of every named "
+                               "scenario (repeatable; e.g. --param i_p=4e-4; "
+                               "see 'sweep --list' / scenario sweep_axes)")
     p_verify.set_defaults(func=cmd_verify)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="map a certified feasibility frontier over a family")
+    p_sweep.add_argument("family", nargs="?", default=None,
+                         help="sweep family name (see --list)")
+    p_sweep.add_argument("--list", action="store_true",
+                         help="list the registered sweep families")
+    p_sweep.add_argument("--grid", action="append", default=None,
+                         metavar="AXIS=LO:HI:N",
+                         help="reshape one axis of the family (repeatable; "
+                              "ladder families read LO/HI as fractions of "
+                              "nominal)")
+    p_sweep.add_argument("--samples", type=int, default=None, metavar="N",
+                         help="Monte-Carlo sample count / ladder step count")
+    p_sweep.add_argument("--seed", type=int, default=None,
+                         help="Monte-Carlo draw seed (same seed = identical "
+                              "point set)")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes; points are split into one "
+                              "shard per worker slot (1 = run inline)")
+    p_sweep.add_argument("--shard-size", type=int, default=None, metavar="N",
+                         help="points per shard job (default: points/jobs)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="bypass the persistent certificate cache")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="cache + progress location (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro-pll-sos)")
+    p_sweep.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="per-shard timeout (fleet runs)")
+    p_sweep.add_argument("--relaxation", default=None,
+                         choices=["dsos", "sdsos", "chordal", "sos", "auto"],
+                         help="Gram-cone ladder every point climbs "
+                              "(default: the family's registered ladder)")
+    p_sweep.add_argument("--backend", default=None,
+                         choices=["admm", "projection"],
+                         help="conic solver backend of every probe solve")
+    p_sweep.add_argument("--array-backend", default=None,
+                         choices=["auto", "numpy", "cupy", "torch"],
+                         help="array namespace of the solver hot loops")
+    p_sweep.add_argument("--fleet", default=None, metavar="HOST:PORT",
+                         help="execute point shards on a running fleet "
+                              "master instead of a local pool")
+    p_sweep.add_argument("--fleet-priority", type=int, default=0, metavar="N",
+                         help="queue priority of fleet-executed shards")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="skip points a previous run of the identical "
+                              "family already settled (progress is saved "
+                              "after every shard)")
+    p_sweep.add_argument("--json", default=None, metavar="PATH",
+                         help="write the frontier JSON here (default: "
+                              "<cache>/sweep_<family>.json); with --list, "
+                              "emit the listing as JSON")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_report = sub.add_parser("report",
                               help="re-render the last verification report")

@@ -255,6 +255,54 @@ class VerificationSession:
             watch=watch is not None, on_event=watch, options=options)
         return done["report"]
 
+    def sweep(self, family: Union[str, object],
+              jobs: int = 1,
+              grid: Optional[Dict[str, tuple]] = None,
+              samples: Optional[int] = None,
+              seed: Optional[int] = None,
+              relaxation: Optional[str] = None,
+              resume: bool = False,
+              shard_size: Optional[int] = None,
+              fleet: Optional[str] = None):
+        """Run a parameter sweep family under this session's configuration.
+
+        ``family`` is a registered family name (see
+        :func:`repro.sweep.sweep_family_names`) or a
+        :class:`~repro.sweep.SweepFamily` instance.  The anchor synthesis
+        and every per-point probe solve go through this session's
+        certificate cache; ``relaxation`` overrides the family's ladder
+        (falling back to the session relaxation, then the family's own).
+        Returns a :class:`~repro.sweep.SweepReport`.
+        """
+        from ..engine.cache import CertificateCache
+        from ..sweep import SweepOptions, SweepRunner
+
+        backend = self.backend if isinstance(self.backend, str) else None
+        options = SweepOptions(
+            jobs=int(jobs),
+            relaxation=relaxation or self.relaxation,
+            backend=backend,
+            array_backend=self.array_backend,
+            fleet=fleet or self.fleet,
+            grid=grid, samples=samples, seed=seed,
+            resume=resume, shard_size=shard_size,
+        )
+        cache = self.cache
+        if cache is None:
+            options.use_cache = False
+            runner = SweepRunner(options)
+        elif isinstance(cache, CertificateCache):
+            # On-disk cache: plain payloads reconstruct it in pool workers.
+            options.cache_dir = str(cache.root)
+            runner = SweepRunner(options)
+        else:
+            # A live cache object (in-memory double, remote client) cannot
+            # cross a process boundary; the runner stays inline and threads
+            # the object through _execute_job's override path.
+            runner = SweepRunner(options, cache_override=cache,
+                                 override_cache=True)
+        return runner.run(family)
+
     # ------------------------------------------------------------------
     def describe(self) -> str:
         counters = self.solve_counters()

@@ -379,6 +379,79 @@ class MultipleLyapunovSynthesizer:
         return program, templates
 
     # ------------------------------------------------------------------
+    # Fixed-certificate probes (the sweep planner's per-point query)
+    # ------------------------------------------------------------------
+    def decrease_probe_program(self, certificates: Mapping[str, Polynomial],
+                               cone: Optional[str] = None,
+                               name: Optional[str] = None) -> SOSProgram:
+        """Feasibility program re-checking condition (b) for *fixed* certificates.
+
+        The certificates are numeric polynomials (no decision variables); the
+        only unknowns are the S-procedure multipliers, so the program is far
+        smaller than :meth:`build_program` and — crucially for parameter
+        sweeps — its conic data is affine in any model constant that enters
+        the flow maps affinely.  Conditions (a) and (c) do not involve the
+        dynamics at all, so a certificate synthesised at an anchor parameter
+        point keeps satisfying them verbatim at every swept point; only the
+        decrease condition must be re-established.
+        """
+        options = self.options
+        if cone is None:
+            cone = cone_for_relaxation(relaxation_ladder(options.relaxation)[-1])
+        program = SOSProgram(name=name or f"decrease_probe_{self.system.name}",
+                             default_cone=cone, context=self.context)
+        state_vars = self.system.state_variables
+        for mode in self.system.modes:
+            certificate = certificates[mode.name].with_variables(state_vars)
+            domain = self._decrease_domain(mode)
+            for k, (field_polys, assignment) in enumerate(self._mode_fields(mode)):
+                if assignment is not None and assignment.get("symbolic"):
+                    raise CertificateError(
+                        "decrease probes require vertex parameter handling")
+                lie = certificate.lie_derivative(list(field_polys))
+                add_positivity_on_set(
+                    program, -lie, domain,
+                    multiplier_degree=options.multiplier_degree,
+                    name=f"probe_dec_{mode.name}_{k}",
+                    strictness=options.decrease_margin,
+                )
+        return program
+
+    def validate_certificate_decrease(self, certificates: Mapping[str, Polynomial],
+                                      num_samples: Optional[int] = None
+                                      ) -> List[object]:
+        """Sampling-based decrease check of fixed certificates on every mode.
+
+        The deterministic (seeded) companion of :meth:`decrease_probe_program`
+        — a conic feasibility claim is only accepted once the extracted-level
+        numeric check agrees, mirroring :meth:`_validate` without the
+        positivity half (which is parameter-independent).
+        """
+        options = self.options
+        samples = options.validate_samples if num_samples is None else num_samples
+        if samples <= 0:
+            return []
+        bounds = options.domain_boxes
+        if bounds is None:
+            bounds = [(-1.0, 1.0)] * self.system.num_states
+        state_vars = self.system.state_variables
+        reports = []
+        for mode in self.system.modes:
+            certificate = certificates[mode.name].with_variables(state_vars)
+            decrease_domain = self._decrease_domain(mode)
+            for k, (field_polys, assignment) in enumerate(self._mode_fields(mode)):
+                if assignment is not None and assignment.get("symbolic"):
+                    field_polys = mode.flow_map_with_parameters(
+                        self.system.nominal_parameters())
+                reports.append(validate_decrease_along_field(
+                    certificate, list(field_polys), decrease_domain, bounds,
+                    num_samples=samples,
+                    tolerance=options.validation_tolerance,
+                    name=f"probe_decrease[{mode.name}#{k}]",
+                ))
+        return reports
+
+    # ------------------------------------------------------------------
     def synthesize(self) -> LyapunovResult:
         """Solve the SOS program and validate the resulting certificates.
 

@@ -56,6 +56,27 @@ class CacheStats:
                 "writes": self.writes, "corrupted": self.corrupted}
 
 
+def cache_rate_summary(stats: Dict[str, int]) -> Dict[str, object]:
+    """Aggregate hit/miss counters into a reportable cache section.
+
+    The single source of the ``hit_rate`` arithmetic — engine JSON reports,
+    ``report --metrics`` and sweep frontier reports all quote this, so the
+    incremental-recertification claims ("warm re-run ≈ 100% hits") are
+    machine-checkable from any of them.
+    """
+    hits = int(stats.get("hits", 0))
+    misses = int(stats.get("misses", 0))
+    lookups = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "writes": int(stats.get("writes", 0)),
+        "corrupted": int(stats.get("corrupted", 0)),
+        "lookups": lookups,
+        "hit_rate": (hits / lookups) if lookups else 0.0,
+    }
+
+
 class CertificateCache:
     """Content-addressed on-disk store of conic :class:`SolverResult` values.
 

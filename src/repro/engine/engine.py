@@ -48,11 +48,12 @@ from ..core.report import STEP_FALSIFICATION_CHECK, join_relaxations
 from ..exceptions import CertificateError
 from ..sdp import DEFAULT_BACKEND, SolveContext
 from ..utils import get_logger
-from .cache import CertificateCache
+from .cache import CertificateCache, cache_rate_summary
 from .jobs import (
     STEP_FALSIFICATION,
     STEP_LEVELSET,
     STEP_LYAPUNOV,
+    STEP_SWEEP,
     JobResult,
     JobSpec,
     JobStatus,
@@ -99,16 +100,21 @@ class EngineOptions:
     # Queue priority of fleet-executed jobs (higher preempts lower at the
     # master's queue level; interactive `repro submit` traffic runs at 10).
     fleet_priority: int = 0
+    # Sweep-axis overrides threaded to every job's problem build
+    # (``verify --param key=value``): maps declared axis names to absolute
+    # values.  None runs the registered nominal scenario.
+    params: Optional[Dict[str, float]] = None
 
 
 # ----------------------------------------------------------------------
 # Step implementations (run inside workers; everything crossing the
 # boundary is plain data)
 # ----------------------------------------------------------------------
-def _prepared_problem(scenario: str, relaxation: Optional[str] = None):
+def _prepared_problem(scenario: str, relaxation: Optional[str] = None,
+                      params: Optional[Dict[str, float]] = None):
     from ..scenarios import build_problem
 
-    problem = build_problem(scenario, relaxation=relaxation)
+    problem = build_problem(scenario, relaxation=relaxation, params=params)
     if problem.options.lyapunov.domain_boxes is None:
         problem.options.lyapunov.domain_boxes = problem.state_bounds()
     return problem
@@ -258,24 +264,32 @@ def _execute_job(payload: Dict[str, object],
                            name=f"job:{payload.get('scenario')}/{payload.get('step')}",
                            array_backend=payload.get("array_backend"))
     try:
-        problem = _prepared_problem(payload["scenario"],
-                                    payload.get("relaxation"))
         step = payload["step"]
-        if step == STEP_LYAPUNOV:
-            status, detail, data = _step_lyapunov(problem, context)
-        elif step == STEP_LEVELSET:
-            status, detail, data = _step_levelset(
-                problem, payload["mode"], payload["certificate"], context)
-        elif step == JOB_STEP_ADVECTION:
-            status, detail, data = _step_advection(
-                problem, payload["mode"], payload["certificates"],
-                payload["levels"], context)
-        elif step == STEP_FALSIFICATION:
-            status, detail, data = _step_falsification(
-                problem, payload["certificates"], payload["levels"],
-                int(payload.get("seed", 0)))
+        if step == STEP_SWEEP:
+            # Sweep shards build their own per-point problems; importing
+            # lazily keeps engine -> sweep a one-way dependency at runtime.
+            from ..sweep.probe import run_sweep_shard
+
+            status, detail, data = run_sweep_shard(payload, context)
         else:
-            raise ValueError(f"unknown engine step {step!r}")
+            problem = _prepared_problem(payload["scenario"],
+                                        payload.get("relaxation"),
+                                        payload.get("params"))
+            if step == STEP_LYAPUNOV:
+                status, detail, data = _step_lyapunov(problem, context)
+            elif step == STEP_LEVELSET:
+                status, detail, data = _step_levelset(
+                    problem, payload["mode"], payload["certificate"], context)
+            elif step == JOB_STEP_ADVECTION:
+                status, detail, data = _step_advection(
+                    problem, payload["mode"], payload["certificates"],
+                    payload["levels"], context)
+            elif step == STEP_FALSIFICATION:
+                status, detail, data = _step_falsification(
+                    problem, payload["certificates"], payload["levels"],
+                    int(payload.get("seed", 0)))
+            else:
+                raise ValueError(f"unknown engine step {step!r}")
     except Exception:
         status, detail, data = "error", traceback.format_exc(limit=8), {}
     return {
@@ -286,8 +300,11 @@ def _execute_job(payload: Dict[str, object],
         # The context is fresh per job, so its counters are this job's exact
         # contribution — no before/after diffing against global state.
         "counters": context.solve_counters(),
-        # The cache object is fresh per job, so its stats are this job's delta.
-        "cache_stats": cache.stats.as_dict() if cache is not None else {},
+        # The cache object is fresh per job, so its stats are this job's
+        # delta.  Minimal get/put caches (session overrides) may not keep
+        # stats at all.
+        "cache_stats": (cache.stats.as_dict()
+                        if getattr(cache, "stats", None) is not None else {}),
         "array_backend_stats": context.array_backend_stats(),
     }
 
@@ -377,6 +394,7 @@ class _ScenarioDriver:
             "relaxation": options.relaxation,
             "backend": options.backend,
             "array_backend": options.array_backend,
+            "params": options.params,
         }
         if spec.step == STEP_LEVELSET:
             lyap = self.results[spec.depends_on[0]].data
@@ -525,6 +543,7 @@ class EngineReport:
                 "wall_seconds": self.wall_seconds,
                 "counters": dict(self.counters),
                 "cache_stats": dict(self.cache_stats),
+                "cache": cache_rate_summary(self.cache_stats),
             },
             "scenarios": [outcome.to_json_dict() for outcome in self.outcomes],
         }
@@ -538,6 +557,12 @@ class EngineReport:
             f"SDP solves: {self.counters.get('solved', 0)} performed, "
             f"{self.counters.get('cache_hit', 0)} served from cache",
         ]
+        cache = cache_rate_summary(self.cache_stats)
+        if cache["lookups"]:
+            lines.append(
+                f"Certificate cache: {cache['hits']}/{cache['lookups']} lookups "
+                f"hit ({100.0 * cache['hit_rate']:.1f}%), "
+                f"{cache['writes']} write(s)")
         stats = self.array_backend_stats()
         if stats:
             lines.append("Array backends: " + ", ".join(

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..engine.cache import cache_rate_summary
+
 #: Version tag of the metrics snapshot layout.
 METRICS_SCHEMA = 1
 
@@ -29,16 +31,9 @@ def _split_counters(counters: Dict[str, int]) -> Dict[str, object]:
 
 
 def _cache_section(stats: Dict[str, int]) -> Dict[str, object]:
-    hits = int(stats.get("hits", 0))
-    misses = int(stats.get("misses", 0))
-    lookups = hits + misses
-    return {
-        "hits": hits,
-        "misses": misses,
-        "writes": int(stats.get("writes", 0)),
-        "corrupted": int(stats.get("corrupted", 0)),
-        "hit_rate": (hits / lookups) if lookups else 0.0,
-    }
+    # One arithmetic for hit rates everywhere: engine reports, sweep
+    # frontiers and these metrics all quote cache_rate_summary.
+    return cache_rate_summary(stats)
 
 
 def engine_metrics(payload: Dict[str, object]) -> Dict[str, object]:

@@ -82,6 +82,42 @@ def _pll_options(spec: ScenarioSpec, model: PLLVerificationModel, *,
     )
 
 
+def _point_parameters(base: PLLParameters, overrides: Dict[str, float],
+                      name: str) -> PLLParameters:
+    """Pin every interval of a Table 1 column to a concrete point.
+
+    Defaults to interval centres; ``overrides`` substitutes absolute values
+    for named constants.  This is the sweep-axis analogue of
+    :func:`_corner_parameters` — a point in the design space rather than a
+    vertex of the interval box.
+    """
+    values = {}
+    for pname, interval in base.named_intervals().items():
+        if pname in overrides:
+            values[pname] = Interval.point(float(overrides[pname]))
+        else:
+            values[pname] = Interval.point(interval.center)
+    return PLLParameters(
+        order=base.order,
+        c1=values["c1"], c2=values["c2"], r=values["r"],
+        f_ref=values["f_ref"], k_vco=values["k_vco"], i_p=values["i_p"],
+        divider=values["divider"],
+        c3=values.get("c3"), r2=values.get("r2"),
+        f_free=base.f_free, name=name,
+    )
+
+
+#: Declared sweep axes of the third-order PLL: every Table 1 constant, with
+#: the interval centre as nominal value.  The conic data is affine in ``i_p``
+#: and ``k_vco`` (they enter the normalised rates linearly) — those axes get
+#: the one-compile parametric fast path; sweeps over ``c2``/``r``/``divider``
+#: transparently fall back to per-point rebuilds.
+_PLL3_SWEEP_AXES = {
+    pname: interval.center
+    for pname, interval in PLLParameters.third_order_paper().named_intervals().items()
+}
+
+
 @register_scenario(
     name="pll3",
     description="3rd-order CP PLL (paper Table 1), nominal constants, full pipeline",
@@ -89,9 +125,19 @@ def _pll_options(spec: ScenarioSpec, model: PLLVerificationModel, *,
     expected="property_one",
     tags=("pll", "paper"),
     fast=True,
+    sweep_axes=_PLL3_SWEEP_AXES,
 )
 def _build_pll3(spec: ScenarioSpec) -> ScenarioProblem:
+    # Parameter overrides pin every constant to a point; the no-override
+    # build keeps the historical ``parameters=None`` path so its conic data
+    # (and therefore its certificate-cache keys) are untouched.
+    parameters = None
+    if spec.parameters:
+        parameters = _point_parameters(
+            PLLParameters.third_order_paper(), dict(spec.parameters),
+            name="third_order_swept")
     model = build_third_order_model(
+        parameters=parameters,
         region=RegionOfInterest(voltage_bound=3.0, phase_bound=1.5),
         uncertainty="none",
     )

@@ -22,6 +22,7 @@ alone inside worker processes.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
@@ -63,6 +64,16 @@ class ScenarioSpec:
         Free-form labels (``"pll"``, ``"power"``, ``"continuous"``, …).
     fast:
         Marks scenarios cheap enough for CI smoke runs and warm-cache tests.
+    sweep_axes:
+        Declared numeric parameter axes, mapping axis name to its nominal
+        value (``{"mu": 1.0}``).  Only declared axes may be overridden via
+        :meth:`with_parameters` — the path behind ``verify --param`` and the
+        ``repro.sweep`` families.  An empty mapping means the scenario is a
+        fixed point in parameter space.
+    parameters:
+        Active overrides for this spec instance (empty on the registered
+        spec; populated by :meth:`with_parameters`).  Builders read effective
+        values through :meth:`parameter`.
     """
 
     name: str
@@ -75,6 +86,8 @@ class ScenarioSpec:
     relaxation: str = "sos"
     tags: Tuple[str, ...] = ()
     fast: bool = False
+    sweep_axes: Mapping[str, float] = field(default_factory=dict)
+    parameters: Mapping[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.expected not in EXPECTED_OUTCOMES:
@@ -86,8 +99,43 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: relaxation {self.relaxation!r} "
                 f"not in {RELAXATIONS}")
 
+    def parameter(self, name: str, default: Optional[float] = None) -> float:
+        """Effective value of a parameter axis: override > nominal > default.
+
+        Builders call this for every swept knob so the same builder serves
+        the registered nominal scenario and every point of a sweep family.
+        """
+        if name in self.parameters:
+            return float(self.parameters[name])
+        if name in self.sweep_axes:
+            return float(self.sweep_axes[name])
+        if default is not None:
+            return float(default)
+        raise KeyError(
+            f"scenario {self.name!r} declares no axis {name!r} and the "
+            f"builder gave no default")
+
+    def with_parameters(self, params: Mapping[str, float]) -> "ScenarioSpec":
+        """A copy of this spec with parameter overrides applied.
+
+        Every key must be a declared sweep axis — overriding an axis the
+        builder would silently ignore is an error, not a no-op.
+        """
+        if not params:
+            return self
+        unknown = sorted(set(params) - set(self.sweep_axes))
+        if unknown:
+            declared = sorted(self.sweep_axes) or ["<none>"]
+            raise ValueError(
+                f"scenario {self.name!r} has no sweep axes {unknown}; "
+                f"declared axes: {declared}")
+        merged = dict(self.parameters)
+        merged.update({key: float(value) for key, value in params.items()})
+        return dataclasses.replace(self, parameters=merged)
+
     def build(self, relaxation: Optional[str] = None,
-              backend: Optional[str] = None) -> ScenarioProblem:
+              backend: Optional[str] = None,
+              params: Optional[Mapping[str, float]] = None) -> ScenarioProblem:
         """Construct the scenario's verification problem.
 
         ``relaxation`` overrides this spec's registered Gram-cone relaxation
@@ -95,9 +143,12 @@ class ScenarioSpec:
         here); ``backend`` forces a stage-level solver backend onto every
         pipeline stage (the usual way to select a backend is the session's
         solve context, which needs no option rewriting — this override exists
-        for workloads that must pin the backend regardless of context).
+        for workloads that must pin the backend regardless of context);
+        ``params`` overrides declared sweep axes (``verify --param`` and the
+        sweep planner arrive here).
         """
-        problem = self.builder(self)
+        spec = self.with_parameters(params) if params else self
+        problem = spec.builder(spec)
         problem.name = self.name
         problem.expected = self.expected
         if relaxation is not None:
@@ -120,6 +171,7 @@ class ScenarioSpec:
             "relaxation": self.relaxation,
             "tags": list(self.tags),
             "fast": self.fast,
+            "sweep_axes": sorted(self.sweep_axes),
         }
 
 
@@ -134,6 +186,7 @@ def register_scenario(name: str, description: str, *,
                       relaxation: str = "sos",
                       tags: Tuple[str, ...] = (),
                       fast: bool = False,
+                      sweep_axes: Optional[Mapping[str, float]] = None,
                       overwrite: bool = False):
     """Decorator registering a scenario builder under ``name``."""
 
@@ -151,6 +204,7 @@ def register_scenario(name: str, description: str, *,
             relaxation=relaxation,
             tags=tuple(tags),
             fast=fast,
+            sweep_axes={k: float(v) for k, v in (sweep_axes or {}).items()},
         )
         return builder
 
@@ -179,10 +233,12 @@ def fast_scenario_names() -> Tuple[str, ...]:
 
 
 def build_problem(name: str, relaxation: Optional[str] = None,
-                  backend: Optional[str] = None) -> ScenarioProblem:
+                  backend: Optional[str] = None,
+                  params: Optional[Mapping[str, float]] = None) -> ScenarioProblem:
     """Build the named scenario's problem (the engine worker entry point).
 
-    ``relaxation`` / ``backend`` optionally override the registered defaults
-    (see :meth:`ScenarioSpec.build`).
+    ``relaxation`` / ``backend`` / ``params`` optionally override the
+    registered defaults (see :meth:`ScenarioSpec.build`).
     """
-    return get_scenario(name).build(relaxation=relaxation, backend=backend)
+    return get_scenario(name).build(relaxation=relaxation, backend=backend,
+                                    params=params)

@@ -98,20 +98,22 @@ def _single_mode_system(name: str, state_names: Tuple[str, ...],
     )
 
 
-def build_vanderpol_system(mu: float = 1.0,
+def build_vanderpol_system(mu: float = 1.0, stiffness: float = 1.0,
                            name: str = "vanderpol_reversed") -> HybridSystem:
     """Time-reversed Van der Pol oscillator.
 
-    ``x' = −y,  y' = x − μ(1 − x²)y``.  Reversing time turns the classical
+    ``x' = −y,  y' = k·x − μ(1 − x²)y``.  Reversing time turns the classical
     limit cycle inside out: the origin is asymptotically stable and the cycle
     bounds its basin, so sub-level sets of a synthesised Lyapunov function
-    inside the unit box are genuine attractive invariants.
+    inside the unit box are genuine attractive invariants.  ``stiffness``
+    (``k``, 1 in the classical oscillator) scales the restoring force and is
+    the second sweep axis next to the damping ``mu``.
     """
     state_vars = VariableVector(make_variables("x", "y"))
     x = Polynomial.from_variable(state_vars[0], state_vars)
     y = Polynomial.from_variable(state_vars[1], state_vars)
     dx = -y
-    dy = x - (y - x * x * y) * mu
+    dy = x * stiffness - (y - x * x * y) * mu
     return _single_mode_system(name, ("x", "y"), (dx, dy), state_vars)
 
 

@@ -76,9 +76,12 @@ def _generic_options(spec: ScenarioSpec, *,
     expected="property_one",
     tags=("power", "hybrid"),
     fast=True,
+    sweep_axes={"v_in": 1.0, "load": 1.0, "duty": 0.5},
 )
 def _build_buck(spec: ScenarioSpec) -> ScenarioProblem:
-    system = build_buck_converter_system()
+    system = build_buck_converter_system(
+        v_in=spec.parameter("v_in"), load=spec.parameter("load"),
+        duty=spec.parameter("duty"))
     bounds = [(-2.0, 2.0), (-2.0, 2.0)]
     # Both modes carry a constant forcing (the switch ripple), so — exactly as
     # for the CP PLL — the decrease condition is imposed off a tube around the
@@ -99,9 +102,11 @@ def _build_buck(spec: ScenarioSpec) -> ScenarioProblem:
     expected="property_one",
     tags=("continuous", "polynomial"),
     fast=True,
+    sweep_axes={"mu": 1.0, "stiffness": 1.0},
 )
 def _build_vanderpol(spec: ScenarioSpec) -> ScenarioProblem:
-    system = build_vanderpol_system(mu=1.0)
+    system = build_vanderpol_system(mu=spec.parameter("mu"),
+                                    stiffness=spec.parameter("stiffness"))
     bounds = [(-0.8, 0.8), (-0.8, 0.8)]
     options = _generic_options(
         spec, lock_tube_radius=0.0, initial_upper_bound=0.5,
@@ -116,9 +121,12 @@ def _build_vanderpol(spec: ScenarioSpec) -> ScenarioProblem:
     certificate_degree=4,
     expected="property_one",
     tags=("continuous", "polynomial", "degree4"),
+    sweep_axes={"delta": 0.8, "alpha": 1.0, "beta": 1.0},
 )
 def _build_duffing(spec: ScenarioSpec) -> ScenarioProblem:
-    system = build_duffing_system(delta=0.8)
+    system = build_duffing_system(delta=spec.parameter("delta"),
+                                  alpha=spec.parameter("alpha"),
+                                  beta=spec.parameter("beta"))
     bounds = [(-1.2, 1.2), (-1.2, 1.2)]
     options = _generic_options(
         spec, lock_tube_radius=0.0, initial_upper_bound=1.0,

@@ -11,7 +11,8 @@ from .program import (
     compile_counters,
     reset_compile_counters,
 )
-from .parametric import ParametricProgramError, ParametricSOSProgram
+from .parametric import (MultiParametricSOSProgram, ParametricProgramError,
+                         ParametricSOSProgram)
 from .sprocedure import (
     SemialgebraicSet,
     SProcedureCertificate,
@@ -34,6 +35,7 @@ __all__ = [
     "SOSProgramError",
     "SOSSolution",
     "ParametricSOSProgram",
+    "MultiParametricSOSProgram",
     "ParametricProgramError",
     "compile_counters",
     "reset_compile_counters",

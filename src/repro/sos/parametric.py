@@ -19,7 +19,8 @@ arithmetic, no coefficient matching, no Gram-table work.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 import numpy as np
 import scipy.sparse as sp
@@ -218,4 +219,189 @@ class ParametricSOSProgram:
         certificates are skipped by default (the template's numeric data is
         the first probe's, not the bound ``theta``'s).
         """
+        return self.program.interpret_result(result, with_certificates=with_certificates)
+
+
+def _union_align_many(matrices: Sequence[sp.csr_matrix],
+                      shape: Tuple[int, int]
+                      ) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray]]:
+    """Expand ``k`` matrices onto their shared union sparsity pattern.
+
+    Generalises :meth:`ParametricSOSProgram._union_align` from two matrices
+    to any number: every output data vector indexes the same concatenated
+    COO pattern (explicit zeros retained where only the others have an
+    entry), so affine combinations are plain ``np.ndarray`` arithmetic.
+    """
+    coos = [m.tocoo() for m in matrices]
+    rows = np.concatenate([c.row for c in coos])
+    cols = np.concatenate([c.col for c in coos])
+    total = rows.shape[0]
+    aligned: List[sp.csr_matrix] = []
+    offset = 0
+    for coo in coos:
+        data = np.zeros(total)
+        data[offset:offset + coo.nnz] = coo.data
+        offset += coo.nnz
+        matrix = sp.csr_matrix((data, (rows, cols)), shape=shape)
+        matrix.sum_duplicates()
+        matrix.sort_indices()
+        aligned.append(matrix)
+    indptr, indices = aligned[0].indptr, aligned[0].indices
+    for matrix in aligned[1:]:
+        if not (np.array_equal(indptr, matrix.indptr)
+                and np.array_equal(indices, matrix.indices)):
+            raise ParametricProgramError("union sparsity alignment failed")
+    return indptr, indices, [m.data for m in aligned]
+
+
+class MultiParametricSOSProgram:
+    """A family of SOS programs over several named scalar axes, compiled once.
+
+    The multi-axis generalisation of :class:`ParametricSOSProgram`: ``build``
+    maps a full parameter dict ``{axis: value}`` to an :class:`SOSProgram`
+    (or ``(program, payload)``) of identical structure, with every axis
+    entering the conic data affinely and independently,
+
+        A(p) = A0 + Σ_k t_k·ΔA_k,      t_k = (p_k − base_k)/step_k.
+
+    The decomposition needs ``d+1`` structural compiles (base point plus one
+    displaced point per axis); a final probe displaced along *all* axes at
+    once verifies joint affinity — cross terms like ``p_1·p_2`` in the data
+    make that probe deviate and raise :class:`ParametricProgramError`, which
+    callers (the sweep planner) catch to fall back to per-point rebuilds.
+    After :meth:`compile`, :meth:`bind` is a pure array operation.
+    """
+
+    def __init__(self, build: Callable[[Dict[str, float]], BuildResult],
+                 base: Mapping[str, float],
+                 steps: Optional[Mapping[str, float]] = None,
+                 check_affinity: bool = True,
+                 name: str = "multi_parametric_sos",
+                 context: Optional[object] = None):
+        self.axes: Tuple[str, ...] = tuple(sorted(base))
+        if not self.axes:
+            raise ValueError("at least one parameter axis is required")
+        self.name = name
+        self.context = context
+        self._build = build
+        self._base = {axis: float(base[axis]) for axis in self.axes}
+        self._steps = {}
+        for axis in self.axes:
+            step = float((steps or {}).get(axis, 0.0))
+            if step == 0.0:
+                # A sensible displacement scale when the caller gave none:
+                # the base magnitude (parameters are strictly positive in
+                # the PLL models) or unity at a zero base.
+                step = abs(self._base[axis]) or 1.0
+            self._steps[axis] = step
+        self._check_affinity = check_affinity
+        self._compiled = False
+        self._program: Optional[SOSProgram] = None
+        self._payload: Any = None
+        #: Full structural compiles performed (``len(axes)+1``, plus one for
+        #: the affinity probe) — every :meth:`bind` afterwards adds zero.
+        self.num_structure_compiles = 0
+        #: Number of :meth:`bind` calls served from the affine decomposition.
+        self.num_binds = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def program(self) -> SOSProgram:
+        """The canonical template program (built at the base point)."""
+        self.compile()
+        assert self._program is not None
+        return self._program
+
+    @property
+    def payload(self) -> Any:
+        self.compile()
+        return self._payload
+
+    def _build_at(self, point: Mapping[str, float]
+                  ) -> Tuple[SOSProgram, Any, ConicProblem]:
+        built = self._build(dict(point))
+        if isinstance(built, tuple):
+            program, payload = built
+        else:
+            program, payload = built, None
+        if self.context is not None and program.context is None:
+            program.context = self.context
+        problem = program.compile()[0].build()
+        self.num_structure_compiles += 1
+        return program, payload, problem
+
+    def compile(self) -> "MultiParametricSOSProgram":
+        """Perform the structural compiles and the affine decomposition (once)."""
+        if self._compiled:
+            return self
+        program0, payload, problem0 = self._build_at(self._base)
+        displaced: List[ConicProblem] = []
+        for axis in self.axes:
+            point = dict(self._base)
+            point[axis] += self._steps[axis]
+            _, _, problem_k = self._build_at(point)
+            if problem_k.dims != problem0.dims \
+                    or problem_k.A.shape != problem0.A.shape \
+                    or problem_k.layout != problem0.layout:
+                raise ParametricProgramError(
+                    f"family {self.name!r} is not structurally stable along "
+                    f"axis {axis!r}: {problem0.describe()} vs {problem_k.describe()}")
+            if not np.allclose(problem_k.c, problem0.c):
+                raise ParametricProgramError(
+                    f"family {self.name!r} has a parameter-dependent cost "
+                    f"vector along axis {axis!r}; only affine constraint "
+                    "data is supported")
+            displaced.append(problem_k)
+
+        indptr, indices, datas = _union_align_many(
+            [problem0.A] + [p.A for p in displaced], problem0.A.shape)
+        self._shape = problem0.A.shape
+        self._indptr, self._indices = indptr, indices
+        self._data0 = datas[0]
+        self._data_slopes = [datas[k + 1] - datas[0]
+                             for k in range(len(self.axes))]
+        self._b0 = problem0.b
+        self._b_slopes = [p.b - problem0.b for p in displaced]
+        self._c = problem0.c
+        self._dims = problem0.dims
+        self._layout = problem0.layout
+        self._program = program0
+        self._payload = payload
+        self._compiled = True
+
+        if self._check_affinity:
+            probe = {axis: self._base[axis] + 0.5 * self._steps[axis]
+                     for axis in self.axes}
+            _, _, problem_p = self._build_at(probe)
+            bound = self.bind(probe)
+            self.num_binds -= 1  # verification probe, not a user bind
+            scale = 1.0 + float(np.abs(bound.A.data).max(initial=0.0))
+            difference = abs(problem_p.A - bound.A)
+            max_difference = float(difference.data.max(initial=0.0)) if difference.nnz else 0.0
+            if max_difference > 1e-9 * scale or \
+                    not np.allclose(problem_p.b, bound.b, atol=1e-9 * scale):
+                raise ParametricProgramError(
+                    f"family {self.name!r} is not jointly affine in "
+                    f"{list(self.axes)} (probe deviation {max_difference:.2e})")
+        return self
+
+    # ------------------------------------------------------------------
+    def bind(self, params: Mapping[str, float]) -> ConicProblem:
+        """Assemble the conic problem at a parameter point — pure array work."""
+        self.compile()
+        data = self._data0.copy()
+        b = self._b0.copy()
+        for k, axis in enumerate(self.axes):
+            t = (float(params[axis]) - self._base[axis]) / self._steps[axis]
+            if t != 0.0:
+                data += t * self._data_slopes[k]
+                b += t * self._b_slopes[k]
+        A = sp.csr_matrix((data, self._indices, self._indptr), shape=self._shape)
+        self.num_binds += 1
+        return ConicProblem(c=self._c, A=A, b=b, dims=self._dims,
+                            layout=self._layout)
+
+    def interpret(self, result: SolverResult,
+                  with_certificates: bool = False) -> SOSSolution:
+        """Map a bound problem's solver result back onto the template program."""
         return self.program.interpret_result(result, with_certificates=with_certificates)

@@ -1,0 +1,320 @@
+"""Tests for the parameter-sweep subsystem (repro.sweep)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import CertificateCache, cache_rate_summary
+from repro.engine.engine import _execute_job
+from repro.engine.jobs import STEP_LYAPUNOV, STEP_SWEEP
+from repro.scenarios import build_problem, get_scenario
+from repro.sweep import (
+    GridSweep,
+    SweepError,
+    SweepOptions,
+    SweepProgress,
+    SweepRunner,
+    get_sweep_family,
+    sweep_family_names,
+)
+
+
+SMALL_GRID = {"mu": (0.8, 1.2, 2), "stiffness": (0.9, 1.1, 2)}
+
+
+def _small_family():
+    return get_sweep_family("vanderpol_grid").reconfigure(grid=SMALL_GRID)
+
+
+def _frontier_blob(report):
+    return json.dumps(report.frontier, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Registry parameter overrides (the path families expand through)
+# ----------------------------------------------------------------------
+class TestScenarioParameters:
+    def test_declared_axes_have_nominals(self):
+        spec = get_scenario("vanderpol")
+        assert spec.sweep_axes == {"mu": 1.0, "stiffness": 1.0}
+
+    def test_unknown_parameter_rejected(self):
+        spec = get_scenario("vanderpol")
+        with pytest.raises(ValueError, match="bogus"):
+            spec.with_parameters({"bogus": 2.0})
+
+    def test_override_changes_dynamics(self):
+        nominal = build_problem("vanderpol")
+        stiff = build_problem("vanderpol", params={"stiffness": 2.0})
+        nom_flow = nominal.system.modes[0].flow_map
+        new_flow = stiff.system.modes[0].flow_map
+        assert [str(p) for p in nom_flow] != [str(p) for p in new_flow]
+
+    def test_no_override_is_identity(self):
+        # params=None must keep the historical build (and its cache keys).
+        spec = get_scenario("pll3")
+        assert spec.build().uncertainty == get_scenario("pll3").build().uncertainty
+
+    def test_pll3_axes_are_table1_centres(self):
+        axes = get_scenario("pll3").sweep_axes
+        assert axes["i_p"] == pytest.approx(5e-4)
+        assert set(axes) >= {"i_p", "k_vco", "r", "c1", "c2"}
+
+
+# ----------------------------------------------------------------------
+# Family expansion
+# ----------------------------------------------------------------------
+class TestFamilies:
+    def test_catalog_registered(self):
+        names = sweep_family_names()
+        assert {"vanderpol_grid", "pll3_ip_ladder", "pll3_mc"} <= set(names)
+
+    def test_grid_row_major_and_stable(self):
+        family = _small_family()
+        points = list(family.points())
+        assert [p.index for p in points] == [0, 1, 2, 3]
+        assert points[0].params_dict == {"mu": 0.8, "stiffness": 0.9}
+        assert points[1].params_dict == {"mu": 0.8, "stiffness": 1.1}
+        assert points[3].params_dict == {"mu": 1.2, "stiffness": 1.1}
+
+    def test_monte_carlo_same_seed_identical_points(self):
+        family = get_sweep_family("pll3_mc").reconfigure(samples=8, seed=7)
+        again = get_sweep_family("pll3_mc").reconfigure(samples=8, seed=7)
+        points = [p.params for p in family.points()]
+        repeat = [p.params for p in again.points()]
+        assert points == repeat  # bit-identical floats, not approx
+        other = get_sweep_family("pll3_mc").reconfigure(samples=8, seed=8)
+        assert points != [p.params for p in other.points()]
+
+    def test_monte_carlo_draws_inside_ranges(self):
+        family = get_sweep_family("pll3_mc").reconfigure(samples=32)
+        nominal = get_scenario("pll3").sweep_axes
+        for point in family.points():
+            params = point.params_dict
+            assert 0.8 * nominal["i_p"] <= params["i_p"] <= 1.2 * nominal["i_p"]
+
+    def test_degradation_ladder_fractions_of_nominal(self):
+        family = get_sweep_family("pll3_ip_ladder").reconfigure(samples=5)
+        nominal = get_scenario("pll3").sweep_axes["i_p"]
+        values = [p.params_dict["i_p"] for p in family.points()]
+        np.testing.assert_allclose(
+            values, np.linspace(0.2, 1.0, 5) * nominal)
+
+    def test_reconfigure_validation(self):
+        grid = get_sweep_family("vanderpol_grid")
+        with pytest.raises(ValueError, match="--samples"):
+            grid.reconfigure(samples=5)
+        with pytest.raises(ValueError, match="unknown axes"):
+            grid.reconfigure(grid={"bogus": (0, 1, 2)})
+        ladder = get_sweep_family("pll3_ip_ladder")
+        with pytest.raises(ValueError, match="--seed"):
+            ladder.reconfigure(seed=3)
+
+    def test_fingerprint_tracks_configuration(self):
+        family = get_sweep_family("vanderpol_grid")
+        assert family.fingerprint() == family.fingerprint()
+        assert family.fingerprint() != _small_family().fingerprint()
+
+    def test_register_rejects_undeclared_axes(self):
+        from repro.sweep import register_sweep_family
+
+        with pytest.raises(ValueError, match="declares no axes"):
+            register_sweep_family(GridSweep(
+                name="bad_family", scenario="vanderpol",
+                grid_axes=(("nonsense", 0.0, 1.0, 2),)))
+
+
+# ----------------------------------------------------------------------
+# Shard execution through the engine job layer
+# ----------------------------------------------------------------------
+class TestSweepShard:
+    def _anchor(self, cache):
+        outcome = _execute_job(
+            {"scenario": "vanderpol", "step": STEP_LYAPUNOV, "mode": None,
+             "seed": 0, "relaxation": None, "params": None},
+            cache_override=cache, override_cache=True)
+        assert outcome["status"] == "ok"
+        return outcome["data"]["certificates"]
+
+    def test_sweep_shard_job(self, tmp_path):
+        cache = CertificateCache(tmp_path / "cache")
+        certificates = self._anchor(cache)
+        outcome = _execute_job(
+            {"scenario": "vanderpol", "step": STEP_SWEEP, "mode": None,
+             "certificates": certificates, "rungs": ["sos"],
+             "base": {"mu": 0.8, "stiffness": 0.9},
+             "steps": {"mu": 0.4, "stiffness": 0.2},
+             "anchor_params": {}, "probe_settings": {},
+             "points": [{"index": 0, "params": {"mu": 0.8, "stiffness": 0.9}},
+                        {"index": 1, "params": {"mu": 1.2, "stiffness": 1.1}}]},
+            cache_override=cache, override_cache=True)
+        assert outcome["status"] == "ok"
+        points = outcome["data"]["points"]
+        assert [p["index"] for p in points] == [0, 1]
+        assert all(p["certified"] for p in points)
+        assert all(p["rung"] == "sos" for p in points)
+        stats = outcome["data"]["structures"]["sos"]
+        assert stats["mode"] == "parametric"
+        assert stats["binds"] == 2
+
+    def test_unknown_step_still_errors(self):
+        outcome = _execute_job({"scenario": "vanderpol", "step": "nonsense"})
+        assert outcome["status"] == "error"
+
+
+# ----------------------------------------------------------------------
+# The planner end to end
+# ----------------------------------------------------------------------
+class TestSweepRunner:
+    def test_end_to_end_and_determinism_across_jobs(self, tmp_path):
+        family = _small_family()
+        r1 = SweepRunner(SweepOptions(
+            jobs=1, cache_dir=str(tmp_path / "c1"))).run(family)
+        assert r1.frontier["summary"]["points"] == 4
+        assert r1.certified == 4
+        for point in r1.points:
+            assert point["rung"] in r1.frontier["ladder"]
+
+        r4 = SweepRunner(SweepOptions(
+            jobs=4, cache_dir=str(tmp_path / "c4"))).run(family)
+        assert _frontier_blob(r1) == _frontier_blob(r4)
+
+    def test_warm_resweep_zero_solves(self, tmp_path):
+        family = _small_family()
+        options = SweepOptions(jobs=1, cache_dir=str(tmp_path))
+        cold = SweepRunner(options).run(family)
+        assert cold.run["counters"].get("solved", 0) > 0
+
+        warm = SweepRunner(SweepOptions(
+            jobs=1, cache_dir=str(tmp_path))).run(family)
+        assert warm.run["counters"].get("solved", 0) == 0
+        assert warm.run["cache"]["hit_rate"] == 1.0
+        assert warm.run["cache"]["lookups"] > 0
+        assert _frontier_blob(cold) == _frontier_blob(warm)
+
+    def test_resume_skips_completed_points(self, tmp_path):
+        family = _small_family()
+        options = SweepOptions(jobs=1, cache_dir=str(tmp_path))
+        full = SweepRunner(options).run(family)
+
+        progress = SweepProgress(tmp_path / "sweeps", family.name,
+                                 family.fingerprint())
+        progress.save({p["index"]: p for p in full.points[:3]})
+        resumed = SweepRunner(SweepOptions(
+            jobs=1, cache_dir=str(tmp_path), use_cache=False,
+            resume=True)).run(family)
+        assert resumed.run["resumed_points"] == 3
+        assert resumed.run["structures"]["dsos"]["binds"] == 1
+        assert _frontier_blob(resumed) == _frontier_blob(full)
+
+    def test_fingerprint_mismatch_discards_progress(self, tmp_path):
+        family = _small_family()
+        progress = SweepProgress(tmp_path / "sweeps", family.name,
+                                 "0123456789abcdef")
+        progress.save({0: {"index": 0, "params": {}, "certified": True,
+                           "rung": "sos", "sampling": True, "attempts": []}})
+        runner = SweepRunner(SweepOptions(jobs=1, cache_dir=str(tmp_path),
+                                          resume=True))
+        report = runner.run(family)
+        assert report.run["resumed_points"] == 0
+        assert report.frontier["summary"]["points"] == 4
+
+    def test_frontier_shape(self, tmp_path):
+        report = SweepRunner(SweepOptions(
+            jobs=1, cache_dir=str(tmp_path))).run(_small_family())
+        frontier = report.frontier
+        assert set(frontier["axes"]) == {"mu", "stiffness"}
+        mu = frontier["axes"]["mu"]
+        assert [row["value"] for row in mu["bins"]] == [0.8, 1.2]
+        assert all(row["total"] == 2 for row in mu["bins"])
+        assert mu["certified_range"] == [0.8, 1.2]
+        summary = frontier["summary"]
+        assert summary["certified"] + summary["uncertified"] == summary["points"]
+        assert sum(summary["by_rung"].values()) == summary["certified"]
+        text = report.render_text()
+        assert "Sweep frontier: vanderpol_grid" in text
+        assert "axis mu" in text
+
+    def test_relaxation_override_pins_ladder(self, tmp_path):
+        report = SweepRunner(SweepOptions(
+            jobs=1, cache_dir=str(tmp_path),
+            relaxation="sos")).run(_small_family())
+        assert report.frontier["ladder"] == ["sos"]
+        assert set(report.run["structures"]) == {"sos"}
+
+    def test_grid_reshape_through_options(self, tmp_path):
+        report = SweepRunner(SweepOptions(
+            jobs=1, cache_dir=str(tmp_path), use_cache=False,
+            grid={"mu": (1.0, 1.0, 1), "stiffness": (1.0, 1.0, 1)},
+        )).run("vanderpol_grid")
+        assert report.frontier["summary"]["points"] == 1
+        assert tuple(report.frontier["family"]["grid_axes"][0]) == \
+            ("mu", 1.0, 1.0, 1)
+
+    def test_bad_reconfigure_is_sweep_error(self):
+        runner = SweepRunner(SweepOptions(samples=5))
+        with pytest.raises(SweepError, match="--samples"):
+            runner.resolve_family("vanderpol_grid")
+
+
+# ----------------------------------------------------------------------
+# Cache telemetry surfaces (satellite: hit rates in reports)
+# ----------------------------------------------------------------------
+class TestCacheTelemetry:
+    def test_cache_rate_summary(self):
+        summary = cache_rate_summary({"hits": 3, "misses": 1, "writes": 1})
+        assert summary["lookups"] == 4
+        assert summary["hit_rate"] == pytest.approx(0.75)
+        empty = cache_rate_summary({})
+        assert empty["lookups"] == 0 and empty["hit_rate"] == 0.0
+
+    def test_engine_report_includes_cache_section(self, tmp_path):
+        from repro.engine import EngineOptions, VerificationEngine
+
+        options = EngineOptions(jobs=1, cache_dir=str(tmp_path))
+        report = VerificationEngine(options).run(["vanderpol"])
+        engine = report.to_json_dict()["engine"]
+        assert "cache" in engine
+        assert engine["cache"]["lookups"] == \
+            engine["cache"]["hits"] + engine["cache"]["misses"]
+        warm = VerificationEngine(EngineOptions(
+            jobs=1, cache_dir=str(tmp_path))).run(["vanderpol"])
+        summary = warm.to_json_dict()["engine"]["cache"]
+        assert summary["hit_rate"] == 1.0
+        assert "Certificate cache:" in warm.render_text()
+
+
+# ----------------------------------------------------------------------
+# Session facade
+# ----------------------------------------------------------------------
+class TestSessionSweep:
+    def test_session_sweep_with_disk_cache(self, tmp_path):
+        from repro.api import VerificationSession
+
+        session = VerificationSession(cache_dir=tmp_path, name="sweeper")
+        report = session.sweep("vanderpol_grid", grid=SMALL_GRID)
+        assert report.certified == 4
+
+    def test_session_sweep_inline_cache_object(self):
+        from repro.api import VerificationSession
+
+        class DictCache:
+            def __init__(self):
+                self.store = {}
+
+            def get(self, key):
+                return self.store.get(key)
+
+            def put(self, key, value):
+                self.store[key] = value
+
+        cache = DictCache()
+        session = VerificationSession(cache=cache, name="sweeper")
+        report = session.sweep("vanderpol_grid",
+                               grid={"mu": (1.0, 1.0, 1),
+                                     "stiffness": (1.0, 1.0, 1)})
+        assert report.frontier["summary"]["points"] == 1
+        # the solves went through the session's live cache object (the
+        # planner must stay inline for it — no process boundary)
+        assert len(cache.store) > 0
